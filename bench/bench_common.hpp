@@ -1,0 +1,81 @@
+/// \file bench_common.hpp
+/// Shared helpers for the reproduction harness: dry-run execution, model
+/// lookup, and the paper's reference values for side-by-side printing.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lu/lu_common.hpp"
+#include "models/cost_model.hpp"
+#include "models/predictions.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace conflux::bench {
+
+/// Run one dry-run configuration and return the result.
+inline lu::LuResult run_dry(const std::string& algo, int n, int p) {
+  lu::LuConfig cfg;
+  cfg.n = n;
+  cfg.p = p;
+  cfg.mode = lu::Mode::DryRun;
+  return lu::make_algorithm(algo)->run(nullptr, cfg);
+}
+
+/// Model prediction in bytes for one implementation.
+inline double model_bytes(const std::string& algo, double n, double p,
+                          bool leading_only = false) {
+  const models::Instance inst = models::max_replication_instance(n, p);
+  for (const auto& m : models::standard_models())
+    if (m->name() == algo)
+      return leading_only ? m->leading_elements_per_rank(inst) * p * 8.0
+                          : m->total_bytes(inst);
+  return 0.0;
+}
+
+/// Table 2's published measured/modeled totals in GB, keyed by
+/// (N, P, implementation) — printed next to our numbers for comparison.
+inline double paper_table2_gb(int n, int p, const std::string& algo,
+                              bool modeled) {
+  static const std::map<std::tuple<int, int, std::string>,
+                        std::pair<double, double>>
+      kPaper = {
+          {{4096, 64, "LibSci"}, {1.17, 1.21}},
+          {{4096, 64, "SLATE"}, {1.18, 1.21}},
+          {{4096, 64, "CANDMC"}, {2.5, 4.9}},
+          {{4096, 64, "COnfLUX"}, {1.11, 1.08}},
+          {{4096, 1024, "LibSci"}, {4.45, 4.43}},
+          {{4096, 1024, "SLATE"}, {4.35, 4.43}},
+          {{4096, 1024, "CANDMC"}, {9.3, 12.13}},
+          {{4096, 1024, "COnfLUX"}, {3.13, 3.07}},
+          {{16384, 64, "LibSci"}, {18.79, 19.33}},
+          {{16384, 64, "SLATE"}, {18.84, 19.33}},
+          {{16384, 64, "CANDMC"}, {39.8, 78.74}},
+          {{16384, 64, "COnfLUX"}, {17.61, 17.19}},
+          {{16384, 1024, "LibSci"}, {70.91, 70.87}},
+          {{16384, 1024, "SLATE"}, {71.1, 70.87}},
+          {{16384, 1024, "CANDMC"}, {144, 194.09}},
+          {{16384, 1024, "COnfLUX"}, {45.42, 44.77}},
+      };
+  const auto it = kPaper.find({n, p, algo});
+  if (it == kPaper.end()) return 0.0;
+  return modeled ? it->second.second : it->second.first;
+}
+
+inline const std::vector<std::string>& algo_names() {
+  static const std::vector<std::string> kNames = {"LibSci", "SLATE", "CANDMC",
+                                                  "COnfLUX"};
+  return kNames;
+}
+
+/// Scale-dependent parameter pick.
+template <typename T>
+T pick(T full, T small) {
+  return bench_scale() == BenchScale::Full ? full : small;
+}
+
+}  // namespace conflux::bench

@@ -1,0 +1,42 @@
+/// bench_fig6b — regenerates Figure 6b: weak scaling with constant work per
+/// node, N = 3200 * P^(1/3). The 2.5D algorithms (COnfLUX, CANDMC) keep the
+/// per-node volume ~constant; the 2D libraries grow like P^(1/6).
+#include <cmath>
+
+#include "bench/bench_common.hpp"
+#include "grid/grid_opt.hpp"
+
+int main() {
+  using namespace conflux;
+  using namespace conflux::bench;
+
+  const bool full = bench_scale() == BenchScale::Full;
+  const double n0 = full ? 3200.0 : 640.0;
+  const std::vector<int> ps = full ? std::vector<int>{8, 27, 64, 216, 512}
+                                   : std::vector<int>{8, 27, 64};
+
+  std::cout << "== Figure 6b: weak scaling, N = " << n0
+            << " * P^(1/3), comm volume per node ==\n\n";
+  Table table({"P", "N", "impl", "measured MB/node", "model MB/node",
+               "growth vs first"});
+  std::map<std::string, double> first;
+  for (int p : ps) {
+    // Round N to a block-friendly multiple near n0 * P^(1/3).
+    const int raw = static_cast<int>(std::lround(n0 * std::cbrt(p)));
+    const int n = std::max(128, (raw / 128) * 128);
+    for (const std::string& algo : algo_names()) {
+      const lu::LuResult res = run_dry(algo, n, p);
+      const double per_node = res.bytes_per_rank() / 1e6;
+      if (first.find(algo) == first.end()) first[algo] = per_node;
+      table.add_row({std::to_string(p), std::to_string(n), algo,
+                     fmt(per_node, 4),
+                     fmt(model_bytes(algo, n, p) / p / 1e6, 4),
+                     fmt(per_node / first[algo], 3) + "x"});
+    }
+  }
+  table.print(std::cout, 2);
+  std::cout << "\nExpected shape: 2.5D algorithms (COnfLUX) retain ~constant "
+               "volume per node; 2D algorithms (LibSci, SLATE) grow ~P^(1/6) "
+               "— cf. the paper's Fig. 6b.\n";
+  return 0;
+}

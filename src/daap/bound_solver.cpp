@@ -1,0 +1,261 @@
+#include "daap/bound_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace conflux::daap {
+
+void validate(const Program& prog) {
+  for (std::size_t i = 0; i < prog.statements.size(); ++i) {
+    const Statement& s = prog.statements[i];
+    CONFLUX_EXPECTS_MSG(s.num_vars >= 1 && s.num_vars <= 16,
+                        "statement '" << s.name << "' loop depth out of range");
+    CONFLUX_EXPECTS(s.domain_size > 0);
+    for (const Access& acc : s.inputs) {
+      for (int v : acc.vars)
+        CONFLUX_EXPECTS_MSG(v >= 0 && v < s.num_vars,
+                            "access " << acc.array << " uses variable " << v
+                                      << " outside loop nest");
+      CONFLUX_EXPECTS_MSG(acc.producer < static_cast<int>(i),
+                          "producer of " << acc.array
+                                         << " must precede statement");
+    }
+  }
+}
+
+namespace {
+
+/// Constraint value sum_j w_j * prod_{k in phi_j} exp(s * d_k) for direction
+/// d scaled by s, in ordinary (non-log) space.
+double constraint_at(const Statement& s, const std::vector<double>& weights,
+                     const std::vector<double>& dir, double scale) {
+  double total = 0;
+  for (std::size_t j = 0; j < s.inputs.size(); ++j) {
+    const double w = weights.empty() ? 1.0 : weights[j];
+    if (w == 0.0 || std::isinf(w)) continue;  // dropped term (rho -> inf)
+    double exponent = 0;
+    for (int k : s.inputs[j].vars) exponent += dir[static_cast<std::size_t>(k)];
+    total += std::exp(scale * exponent) / w;
+    if (!std::isfinite(total)) return total;
+  }
+  return total;
+}
+
+/// Largest s with constraint(s) <= x (monotone in s along a direction).
+double max_scale(const Statement& s, const std::vector<double>& weights,
+                 const std::vector<double>& dir, double x) {
+  if (constraint_at(s, weights, dir, 0.0) > x) return 0.0;
+  double lo = 0.0, hi = 1.0;
+  while (constraint_at(s, weights, dir, hi) <= x && hi < 1e3) hi *= 2.0;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (constraint_at(s, weights, dir, mid) <= x)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+/// Objective along a direction: log-volume = s * sum_t d_t.
+double log_volume(const std::vector<double>& dir, double s) {
+  double sum = 0;
+  for (double d : dir) sum += d;
+  return s * sum;
+}
+
+}  // namespace
+
+VolumeSolution max_volume(const Statement& s, double x,
+                          const std::vector<double>& intensity_weights) {
+  CONFLUX_EXPECTS(x >= 1.0);
+  const int l = s.num_vars;
+
+  // If every constraint term is dropped (all producers free), the volume is
+  // unbounded; callers treat this via the out-degree/intensity caps. We
+  // return a large sentinel consistent with x.
+  bool any_term = false;
+  for (std::size_t j = 0; j < s.inputs.size(); ++j) {
+    const double w = intensity_weights.empty() ? 1.0 : intensity_weights[j];
+    if (!(w == 0.0 || std::isinf(w))) any_term = true;
+  }
+
+  VolumeSolution best;
+  best.ranges.assign(static_cast<std::size_t>(l), 1.0);
+  if (!any_term) {
+    best.volume = std::numeric_limits<double>::infinity();
+    best.access_sizes.assign(s.inputs.size(), 0.0);
+    return best;
+  }
+
+  // Direction search over the simplex {d >= 0, max d = 1} by iterated local
+  // refinement from a uniform start plus axis-aligned corners.
+  std::vector<std::vector<double>> starts;
+  starts.emplace_back(static_cast<std::size_t>(l), 1.0);  // uniform
+  for (int t = 0; t < l; ++t) {
+    std::vector<double> axis(static_cast<std::size_t>(l), 0.0);
+    axis[static_cast<std::size_t>(t)] = 1.0;
+    starts.push_back(std::move(axis));
+  }
+  // Pairwise corners capture solutions with two active variables.
+  for (int t1 = 0; t1 < l; ++t1)
+    for (int t2 = t1 + 1; t2 < l; ++t2) {
+      std::vector<double> two(static_cast<std::size_t>(l), 0.0);
+      two[static_cast<std::size_t>(t1)] = 1.0;
+      two[static_cast<std::size_t>(t2)] = 1.0;
+      starts.push_back(std::move(two));
+    }
+
+  double best_obj = -1.0;
+  std::vector<double> best_dir;
+  double best_scale = 0.0;
+  for (auto& dir : starts) {
+    // Coordinate-wise refinement of the direction.
+    double step = 0.5;
+    double obj = log_volume(dir, max_scale(s, intensity_weights, dir, x));
+    for (int sweep = 0; sweep < 60; ++sweep) {
+      bool improved = false;
+      for (int t = 0; t < l; ++t) {
+        for (double delta : {step, -step}) {
+          std::vector<double> trial = dir;
+          trial[static_cast<std::size_t>(t)] =
+              std::max(0.0, trial[static_cast<std::size_t>(t)] + delta);
+          const double sc = max_scale(s, intensity_weights, trial, x);
+          const double o = log_volume(trial, sc);
+          if (o > obj + 1e-13) {
+            dir = std::move(trial);
+            obj = o;
+            improved = true;
+          }
+        }
+      }
+      if (!improved) step *= 0.5;
+      if (step < 1e-9) break;
+    }
+    if (obj > best_obj) {
+      best_obj = obj;
+      best_dir = dir;
+      best_scale = max_scale(s, intensity_weights, best_dir, x);
+    }
+  }
+
+  best.volume = std::exp(best_obj);
+  for (int t = 0; t < l; ++t)
+    best.ranges[static_cast<std::size_t>(t)] =
+        std::exp(best_scale * best_dir[static_cast<std::size_t>(t)]);
+  best.access_sizes.clear();
+  for (const Access& acc : s.inputs) {
+    double size = 1.0;
+    for (int k : acc.vars)
+      size *= best.ranges[static_cast<std::size_t>(k)];
+    best.access_sizes.push_back(size);
+  }
+  return best;
+}
+
+StatementBound solve_statement(const Statement& s, double m,
+                               const std::vector<double>& intensity_weights) {
+  CONFLUX_EXPECTS(m >= 1.0);
+  StatementBound out;
+  out.name = s.name;
+
+  // Out-degree-one cap (Lemma 6): u = number of out-degree-one graph-input
+  // accesses; rho <= 1/u.
+  int u = 0;
+  for (std::size_t j = 0; j < s.inputs.size(); ++j) {
+    const bool produced = s.inputs[j].producer >= 0;
+    if (s.inputs[j].out_degree_one && !produced) ++u;
+  }
+
+  auto rho_of = [&](double x) {
+    return max_volume(s, x, intensity_weights).volume / (x - m);
+  };
+
+  // Golden-section search for X0 = argmin rho on (M, X_hi]. rho is
+  // unimodal for DAAP statements (psi is concave-increasing in log space).
+  const double phi = 0.5 * (std::sqrt(5.0) - 1.0);
+  double lo = m + std::max(1.0, 1e-6 * m);
+  double hi = 64.0 * m + 64.0;
+  double x1 = hi - phi * (hi - lo), x2 = lo + phi * (hi - lo);
+  double f1 = rho_of(x1), f2 = rho_of(x2);
+  for (int it = 0; it < 160; ++it) {
+    if (f1 > f2) {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = rho_of(x2);
+    } else {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = rho_of(x1);
+    }
+  }
+  out.x0 = 0.5 * (lo + hi);
+  out.at_x0 = max_volume(s, out.x0, intensity_weights);
+  out.psi_x0 = out.at_x0.volume;
+  out.rho = out.psi_x0 / (out.x0 - m);
+  if (u > 0) out.rho = std::min(out.rho, 1.0 / u);
+  out.q = s.domain_size / out.rho;
+  return out;
+}
+
+ProgramBound solve_program(const Program& prog, double m, double p) {
+  validate(prog);
+  CONFLUX_EXPECTS(p >= 1.0);
+  ProgramBound out;
+
+  // Pass 1: per-statement bounds with output-reuse weights (Corollary 1):
+  // input j produced by statement i gets weight rho_i (>= 1 weakens the
+  // dominator term; rho = 1 leaves it unchanged, matching the LU case).
+  for (const Statement& s : prog.statements) {
+    std::vector<double> weights(s.inputs.size(), 1.0);
+    for (std::size_t j = 0; j < s.inputs.size(); ++j) {
+      const int producer = s.inputs[j].producer;
+      if (producer >= 0) {
+        const double rho_producer =
+            out.statements[static_cast<std::size_t>(producer)].rho;
+        weights[j] = std::max(1.0, rho_producer);
+      }
+    }
+    out.statements.push_back(solve_statement(s, m, weights));
+  }
+
+  // Pass 2: input reuse (Lemma 7, equation (6)) for arrays read as program
+  // inputs by more than one statement.
+  std::map<std::string, std::vector<std::size_t>> readers;
+  for (std::size_t i = 0; i < prog.statements.size(); ++i)
+    for (const Access& acc : prog.statements[i].inputs)
+      if (acc.producer < 0) readers[acc.array].push_back(i);
+
+  double reuse_total = 0;
+  for (const auto& [array, stmts] : readers) {
+    if (stmts.size() < 2) continue;
+    double reuse = std::numeric_limits<double>::infinity();
+    for (std::size_t i : stmts) {
+      const Statement& s = prog.statements[i];
+      const StatementBound& b = out.statements[i];
+      // Access size of this array at the optimum, times the minimum number
+      // of subcomputations |V| / |V_max|.
+      double access = 0;
+      for (std::size_t j = 0; j < s.inputs.size(); ++j)
+        if (s.inputs[j].array == array) access = b.at_x0.access_sizes[j];
+      const double subcomputations = s.domain_size / b.psi_x0;
+      reuse = std::min(reuse, access * subcomputations);
+    }
+    out.reuses.push_back({array, reuse});
+    reuse_total += reuse;
+  }
+
+  double q = 0;
+  for (const StatementBound& b : out.statements) q += b.q;
+  out.q_sequential = std::max(0.0, q - reuse_total);
+  out.q_parallel = out.q_sequential / p;  // Lemma 9
+  return out;
+}
+
+}  // namespace conflux::daap

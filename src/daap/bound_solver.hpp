@@ -1,0 +1,77 @@
+/// \file bound_solver.hpp
+/// The general I/O lower-bound machinery of §3-§5:
+///
+///  1. For one statement, solve optimization problem (3):
+///         max prod_t |R_t|  s.t.  sum_j prod_{k in phi_j} |R_k| <= X
+///     giving psi(X) = |V_max|, via a direction-search in log space (the
+///     constraint is monotone along any ray, so each direction reduces to a
+///     1D bisection; the simplex of directions is searched by iterated
+///     refinement). Exact for the paper's kernels (validated against the
+///     closed forms: MMM psi = (X/3)^(3/2), LU-S1 psi = X - 1, ...).
+///  2. Minimize rho(X) = psi(X)/(X - M) over X > M (equation (4)) by golden
+///     section, apply the out-degree-one cap of Lemma 6, and emit
+///         Q >= |V| (X0 - M) / psi(X0)            (equation (5), Lemma 2).
+///  3. Across statements, account for input reuse (Lemma 7) and output
+///     reuse (Lemma 8 / Corollary 1: a produced input's access-size term is
+///     weakened by the producer's computational intensity).
+///  4. Parallel bound: Q_p >= |V| / (P rho) (Lemma 9).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "daap/program.hpp"
+
+namespace conflux::daap {
+
+/// psi(X) and the optimizing per-variable range sizes for one statement.
+struct VolumeSolution {
+  double volume = 0;              ///< psi(X) = max |V_h|
+  std::vector<double> ranges;     ///< optimal |R_t| per iteration variable
+  std::vector<double> access_sizes;  ///< per input j: prod_{k in phi_j} |R_k|
+};
+
+/// Solve optimization problem (3) for a given dominator budget X.
+/// `intensity_weights[j]`, when provided, divides input j's constraint term
+/// (Corollary 1: produced inputs need only |B_j|/rho_S dominator vertices);
+/// an infinite weight drops the term entirely.
+[[nodiscard]] VolumeSolution max_volume(
+    const Statement& s, double x,
+    const std::vector<double>& intensity_weights = {});
+
+/// The per-statement lower-bound summary.
+struct StatementBound {
+  std::string name;
+  double x0 = 0;          ///< optimal dominator budget (equation (4))
+  double rho = 0;         ///< computational intensity at X0 (after Lemma 6)
+  double psi_x0 = 0;      ///< psi(X0)
+  double q = 0;           ///< sequential I/O lower bound |V| / rho
+  VolumeSolution at_x0;   ///< ranges/access sizes at the optimum
+};
+
+/// Solve one statement for memory size M (steps 1-2 above).
+/// `intensity_weights` as in max_volume.
+[[nodiscard]] StatementBound solve_statement(
+    const Statement& s, double m,
+    const std::vector<double>& intensity_weights = {});
+
+/// Reuse accounting for one shared input array (Lemma 7 / equation (6)).
+struct ReuseInfo {
+  std::string array;
+  double reuse = 0;  ///< upper bound on loads shared between statements
+};
+
+/// Whole-program bound (steps 1-4).
+struct ProgramBound {
+  double q_sequential = 0;  ///< Q_tot >= sum Q_i - sum Reuse(A_j)
+  double q_parallel = 0;    ///< Lemma 9, for the P supplied
+  std::vector<StatementBound> statements;
+  std::vector<ReuseInfo> reuses;
+};
+
+/// Derive the program's parallel I/O lower bound for memory M and P ranks.
+[[nodiscard]] ProgramBound solve_program(const Program& prog, double m,
+                                         double p = 1.0);
+
+}  // namespace conflux::daap

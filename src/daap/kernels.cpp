@@ -1,0 +1,144 @@
+#include "daap/kernels.hpp"
+
+#include <cmath>
+
+namespace conflux::daap {
+
+Program matmul(double n) {
+  Program prog;
+  prog.name = "MMM";
+  Statement s;
+  s.name = "C[i,j] += A[i,k]*B[k,j]";
+  s.num_vars = 3;  // i=0, j=1, k=2
+  s.inputs = {
+      {"A", {0, 2}, false, -1},
+      {"B", {2, 1}, false, -1},
+      {"C", {0, 1}, false, -1},  // previous version of the accumulator
+  };
+  s.output = {"C", {0, 1}, false, -1};
+  s.domain_size = n * n * n;
+  prog.statements.push_back(std::move(s));
+  return prog;
+}
+
+Program lu_factorization(double n) {
+  Program prog;
+  prog.name = "LU";
+
+  Statement s1;
+  s1.name = "S1: A[i,k] /= A[k,k]";
+  s1.num_vars = 2;  // k=0, i=1
+  // A[i,k]'s vertices feed exactly one division each (out-degree 1 into S1);
+  // A[k,k] has access dimension 1.
+  s1.inputs = {
+      {"A10", {0, 1}, true, -1},
+      {"Adiag", {0}, false, -1},
+  };
+  s1.output = {"L", {0, 1}, false, -1};
+  s1.domain_size = n * (n - 1) / 2.0;
+  prog.statements.push_back(std::move(s1));
+
+  Statement s2;
+  s2.name = "S2: A[i,j] -= A[i,k]*A[k,j]";
+  s2.num_vars = 3;  // k=0, i=1, j=2
+  s2.inputs = {
+      {"L", {0, 1}, false, 0},  // produced by S1 (output reuse, rho_S1 = 1)
+      {"U", {0, 2}, false, -1},
+      {"Aprev", {1, 2}, false, -1},
+  };
+  s2.output = {"Aprev", {1, 2}, false, -1};
+  s2.domain_size = n * n * n / 3.0 - n * n + 2.0 * n / 3.0;
+  prog.statements.push_back(std::move(s2));
+  return prog;
+}
+
+Program section41_shared_b(double n) {
+  Program prog;
+  prog.name = "Section4.1-sharedB";
+  for (const char* out : {"D", "E"}) {
+    Statement s;
+    s.name = std::string(out) + "[i,j,k] = X[i,k]*B[k,j]";
+    s.num_vars = 3;  // i=0, j=1, k=2
+    // A (resp. C) is read once per (i, j, k) but reused across j, so its
+    // vertices have out-degree N: Lemma 6 does not apply here.
+    s.inputs = {
+        {std::string(out) == "D" ? "A" : "C", {0, 2}, false, -1},
+        {"B", {2, 1}, false, -1},
+    };
+    s.output = {out, {0, 1, 2}, false, -1};
+    s.domain_size = n * n * n;
+    prog.statements.push_back(std::move(s));
+  }
+  return prog;
+}
+
+Program section42_generated_a(double n) {
+  Program prog;
+  prog.name = "Section4.2-generatedA";
+
+  Statement s;
+  s.name = "S: A[i,j] = exp(2 pi sqrt(-1) (i-1)(j-1)/N)";
+  s.num_vars = 2;
+  s.inputs = {};  // no array inputs: rho_S -> infinity
+  s.output = {"A", {0, 1}, false, -1};
+  s.domain_size = n * n;
+  prog.statements.push_back(std::move(s));
+
+  Statement t;
+  t.name = "T: C[i,j] += A[i,k]*B[k,j]";
+  t.num_vars = 3;  // i=0, j=1, k=2
+  t.inputs = {
+      {"A", {0, 2}, false, 0},  // produced by S: dominator term drops
+      {"B", {2, 1}, false, -1},
+      {"C", {0, 1}, false, -1},
+  };
+  t.output = {"C", {0, 1}, false, -1};
+  t.domain_size = n * n * n;
+  prog.statements.push_back(std::move(t));
+  return prog;
+}
+
+Program cholesky(double n) {
+  Program prog;
+  prog.name = "Cholesky";
+
+  Statement s2;
+  s2.name = "S2: A[i,j] /= A[j,j]";
+  s2.num_vars = 2;  // j=0, i=1
+  s2.inputs = {
+      {"Acol", {0, 1}, true, -1},
+      {"Adiag", {0}, false, -1},
+  };
+  s2.output = {"L", {0, 1}, false, -1};
+  s2.domain_size = n * (n - 1) / 2.0;
+  prog.statements.push_back(std::move(s2));
+
+  Statement s3;
+  s3.name = "S3: A[i,k] -= A[i,j]*A[k,j]";
+  s3.num_vars = 3;  // j=0, i=1, k=2
+  s3.inputs = {
+      {"L", {0, 1}, false, 0},
+      {"Lt", {0, 2}, false, 0},
+      {"Aprev", {1, 2}, false, -1},
+  };
+  s3.output = {"Aprev", {1, 2}, false, -1};
+  // Triangular update domain: sum_j (n-j)^2/2 ~ n^3/6.
+  s3.domain_size = n * n * n / 6.0;
+  prog.statements.push_back(std::move(s3));
+  return prog;
+}
+
+double lu_bound_sequential(double n, double m) {
+  return (2.0 * n * n * n - 6.0 * n * n + 4.0 * n) / (3.0 * std::sqrt(m)) +
+         n * (n - 1.0) / 2.0;
+}
+
+double lu_bound_parallel(double n, double m, double p) {
+  return lu_bound_sequential(n, m) / p;
+}
+
+double mmm_bound_sequential(double n, double m) {
+  return 2.0 * n * n * n / std::sqrt(m);
+}
+
+}  // namespace conflux::daap

@@ -1,0 +1,47 @@
+/// \file kernels.hpp
+/// Canned DAAP programs for the kernels analyzed in the paper, with their
+/// known closed-form bounds for cross-validation:
+///   - MMM: psi = (X/3)^(3/2), X0 = 3M, rho = sqrt(M)/2, Q >= 2N^3/sqrt(M)
+///   - LU S1 (column scaling): rho = 1 (Lemma 6), Q >= N(N-1)/2
+///   - LU S2 (Schur update): rho = sqrt(M)/2, Q >= (2N^3-6N^2+4N)/(3 sqrt M)
+///   - §4.1 example (two products sharing B): Q_tot = N^3/M after reuse
+///   - §4.2 example (produced A, "modified MMM"): Q_tot >= N^3/M
+///   - Cholesky (extension, §11 future work)
+#pragma once
+
+#include "daap/program.hpp"
+
+namespace conflux::daap {
+
+/// Variable index conventions are per-kernel; see each builder.
+
+/// C[i,j] += A[i,k] * B[k,j] over an n^3 cube (vars i=0, j=1, k=2).
+[[nodiscard]] Program matmul(double n);
+
+/// The LU factorization of Figure 1: S1: A[i,k] /= A[k,k] (vars k=0, i=1)
+/// and S2: A[i,j] -= A[i,k] * A[k,j] (vars k=0, i=1, j=2), with the output
+/// of S1 feeding input A[i,k] of S2 (output reuse, rho_S1 = 1).
+[[nodiscard]] Program lu_factorization(double n);
+
+/// §4.1 input-reuse example: S: D[i,j,k] = A[i,k]*B[k,j];
+/// T: E[i,j,k] = C[i,k]*B[k,j] — B is shared, Reuse(B) = N^3/M.
+[[nodiscard]] Program section41_shared_b(double n);
+
+/// §4.2 output-reuse example ("modified MMM"): S generates A[i,j] with no
+/// inputs (rho_S -> inf), T: C[i,j] += A[i,k]*B[k,j]. Q_tot >= N^3/M.
+[[nodiscard]] Program section42_generated_a(double n);
+
+/// Cholesky factorization (extension): S1: A[j,j] = sqrt(A[j,j]);
+/// S2: A[i,j] /= A[j,j]; S3: A[i,k] -= A[i,j]*A[k,j].
+[[nodiscard]] Program cholesky(double n);
+
+/// Closed forms for the LU lower bound of §6:
+/// sequential: 2N^3/(3 sqrt M) - lower-order;
+/// parallel (Lemma 9): 2N^3/(3 P sqrt M) + N(N-1)/(2P).
+[[nodiscard]] double lu_bound_sequential(double n, double m);
+[[nodiscard]] double lu_bound_parallel(double n, double m, double p);
+
+/// Closed form for MMM (validated against [42]): 2N^3/sqrt(M).
+[[nodiscard]] double mmm_bound_sequential(double n, double m);
+
+}  // namespace conflux::daap

@@ -1,0 +1,50 @@
+/// \file program.hpp
+/// DAAP — Disjoint Array Access Programs (§2.2): statements nested in loop
+/// nests, each reading m array inputs through injective access-function
+/// vectors and writing one output. This representation carries exactly the
+/// information the I/O lower-bound machinery of §3-§5 consumes:
+///   - which iteration variables appear in each access (dim(phi_j)),
+///   - which inputs are out-degree-one graph inputs (Lemma 6),
+///   - which inputs are produced by earlier statements (output reuse,
+///     §4.2 / Corollary 1),
+///   - which arrays are shared between statements (input reuse, §4.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace conflux::daap {
+
+/// One array access A_j[phi_j(r)]. Only the *set* of distinct iteration
+/// variables in phi_j matters for the bounds (the access dimension,
+/// §2.2 item 7); injectivity is assumed per the DAAP definition.
+struct Access {
+  std::string array;      ///< logical array name (shared names = shared data)
+  std::vector<int> vars;  ///< distinct iteration-variable indices in phi_j
+  bool out_degree_one = false;  ///< every touched vertex has out-degree 1
+  int producer = -1;  ///< index of the statement producing this array
+                      ///< (output reuse), or -1 when it is a program input
+};
+
+/// One statement S: A_0[phi_0(r)] <- f(A_1[...], ..., A_m[...]).
+struct Statement {
+  std::string name;
+  int num_vars = 0;             ///< loop-nest depth l
+  std::vector<Access> inputs;   ///< A_1 ... A_m
+  Access output;                ///< A_0
+  double domain_size = 0;       ///< |V| — number of statement executions
+};
+
+/// A program: an ordered sequence of statements (dependencies flow forward).
+struct Program {
+  std::string name;
+  std::vector<Statement> statements;
+};
+
+/// Validate structural invariants (variable indices in range, producer
+/// indices acyclic). Throws ContractViolation on malformed programs.
+void validate(const Program& prog);
+
+}  // namespace conflux::daap

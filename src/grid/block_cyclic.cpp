@@ -1,0 +1,5 @@
+#include "grid/block_cyclic.hpp"
+
+namespace conflux::grid {
+// Header-only; TU anchors the target.
+}  // namespace conflux::grid

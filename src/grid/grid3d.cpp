@@ -1,0 +1,5 @@
+#include "grid/grid3d.hpp"
+
+namespace conflux::grid {
+// Grid classes are header-only; the TU anchors the library target.
+}  // namespace conflux::grid

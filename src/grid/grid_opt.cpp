@@ -1,0 +1,94 @@
+#include "grid/grid_opt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace conflux::grid {
+
+double conflux_cost_per_rank(double n, int px, int py, int c) {
+  const double n2 = n * n;
+  const double panel_multicast =
+      n2 / (2.0 * c) * (1.0 / px + 1.0 / py);
+  const double lazy_reduction =
+      n2 * static_cast<double>(c - 1) / (static_cast<double>(px) * py * c);
+  return panel_multicast + lazy_reduction;
+}
+
+GridChoice optimize_grid(int p_available, int n, double mem_elements_per_rank,
+                         int max_layers) {
+  CONFLUX_EXPECTS(p_available >= 1 && n >= 1);
+  GridChoice best;
+  double best_cost = std::numeric_limits<double>::infinity();
+
+  const double n2 = static_cast<double>(n) * n;
+  const int c_limit = max_layers > 0 ? max_layers : p_available;
+
+  for (int c = 1; c <= c_limit && c <= p_available; ++c) {
+    const int front = p_available / c;  // ranks available for the 2D face
+    if (front < 1) break;
+    for (int px = 1; px <= front; ++px) {
+      const int py = front / px;
+      if (py < 1) break;
+      // Memory cap: each rank stores N^2/(px*py) elements.
+      if (mem_elements_per_rank > 0.0 &&
+          n2 / (static_cast<double>(px) * py) > mem_elements_per_rank)
+        continue;
+      const double cost = conflux_cost_per_rank(n, px, py, c);
+      const int active = px * py * c;
+      const bool better =
+          cost < best_cost * (1.0 - 1e-12) ||
+          (cost < best_cost * (1.0 + 1e-12) &&
+           (active > best.grid.active() ||
+            (active == best.grid.active() &&
+             std::abs(px - py) < std::abs(best.grid.px_extent() -
+                                          best.grid.py_extent()))));
+      if (better) {
+        best_cost = cost;
+        best.grid = Grid3D(px, py, c);
+        best.modeled_cost_per_rank = cost;
+        best.idle_ranks = p_available - active;
+      }
+    }
+  }
+  CONFLUX_ENSURES(best.grid.active() <= p_available);
+  return best;
+}
+
+Grid2D choose_grid_2d_all_ranks(int p) {
+  CONFLUX_EXPECTS(p >= 1);
+  int pr = static_cast<int>(std::sqrt(static_cast<double>(p)));
+  while (pr > 1 && p % pr != 0) --pr;
+  return {pr, p / pr};
+}
+
+Grid2D choose_grid_2d_near_square(int p) {
+  CONFLUX_EXPECTS(p >= 1);
+  const int pr = std::max(1, static_cast<int>(std::sqrt(static_cast<double>(p))));
+  const int pc = std::max(1, p / pr);
+  return {pr, pc};
+}
+
+int choose_block_size(int n, int c, int target) {
+  CONFLUX_EXPECTS(n >= 1 && c >= 1);
+  const int want = std::clamp(target, std::min(c, n), n);
+  int best = n;  // n always divides n
+  long long best_dist = std::llabs(static_cast<long long>(n) - want);
+  for (int d = 1; d * d <= n; ++d) {
+    if (n % d != 0) continue;
+    for (int candidate : {d, n / d}) {
+      if (candidate < std::min(c, n)) continue;
+      const long long dist =
+          std::llabs(static_cast<long long>(candidate) - want);
+      if (dist < best_dist ||
+          (dist == best_dist && candidate < best)) {
+        best = candidate;
+        best_dist = dist;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace conflux::grid

@@ -1,0 +1,111 @@
+#include "linalg/blas.hpp"
+
+#include <algorithm>
+
+namespace conflux::linalg {
+
+namespace {
+/// Cache-blocking factor for the k dimension of GEMM. 64 doubles * 3 blocks
+/// comfortably fits L1 on any modern core.
+constexpr int kBlock = 64;
+}  // namespace
+
+void gemm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
+          MatrixView c) {
+  const int m = c.rows(), n = c.cols(), k = a.cols();
+  CONFLUX_EXPECTS(a.rows() == m && b.rows() == k && b.cols() == n);
+
+  if (beta != 1.0) {
+    for (int i = 0; i < m; ++i) {
+      auto ci = c.row(i);
+      if (beta == 0.0)
+        std::fill(ci.begin(), ci.end(), 0.0);
+      else
+        for (double& x : ci) x *= beta;
+    }
+  }
+  if (alpha == 0.0 || k == 0) return;
+
+  // i-k-j loop with k blocking: B rows are walked contiguously and the inner
+  // j loop vectorizes.
+  for (int kk = 0; kk < k; kk += kBlock) {
+    const int kend = std::min(k, kk + kBlock);
+    for (int i = 0; i < m; ++i) {
+      auto ci = c.row(i);
+      for (int p = kk; p < kend; ++p) {
+        const double aip = alpha * a(i, p);
+        if (aip == 0.0) continue;
+        auto bp = b.row(p);
+        for (int j = 0; j < n; ++j) ci[j] += aip * bp[j];
+      }
+    }
+  }
+}
+
+void schur_update(MatrixView c, ConstMatrixView a, ConstMatrixView b) {
+  gemm(-1.0, a, b, 1.0, c);
+}
+
+void trsm_left(Triangle tri, Diag diag, ConstMatrixView a, MatrixView b) {
+  const int m = b.rows(), n = b.cols();
+  CONFLUX_EXPECTS(a.rows() == m && a.cols() == m);
+  if (tri == Triangle::Lower) {
+    // Forward substitution: X(i,:) = (B(i,:) - sum_{p<i} A(i,p) X(p,:)) / A(i,i)
+    for (int i = 0; i < m; ++i) {
+      auto bi = b.row(i);
+      for (int p = 0; p < i; ++p) {
+        const double aip = a(i, p);
+        if (aip == 0.0) continue;
+        auto bp = b.row(p);
+        for (int j = 0; j < n; ++j) bi[j] -= aip * bp[j];
+      }
+      if (diag == Diag::NonUnit) {
+        const double inv = 1.0 / a(i, i);
+        for (int j = 0; j < n; ++j) bi[j] *= inv;
+      }
+    }
+  } else {
+    // Backward substitution.
+    for (int i = m - 1; i >= 0; --i) {
+      auto bi = b.row(i);
+      for (int p = i + 1; p < m; ++p) {
+        const double aip = a(i, p);
+        if (aip == 0.0) continue;
+        auto bp = b.row(p);
+        for (int j = 0; j < n; ++j) bi[j] -= aip * bp[j];
+      }
+      if (diag == Diag::NonUnit) {
+        const double inv = 1.0 / a(i, i);
+        for (int j = 0; j < n; ++j) bi[j] *= inv;
+      }
+    }
+  }
+}
+
+void trsm_right(Triangle tri, Diag diag, ConstMatrixView a, MatrixView b) {
+  const int m = b.rows(), n = b.cols();
+  CONFLUX_EXPECTS(a.rows() == n && a.cols() == n);
+  if (tri == Triangle::Upper) {
+    // X * U = B: column-by-column forward sweep, row-major friendly.
+    for (int i = 0; i < m; ++i) {
+      auto bi = b.row(i);
+      for (int j = 0; j < n; ++j) {
+        double x = bi[j];
+        for (int p = 0; p < j; ++p) x -= bi[p] * a(p, j);
+        bi[j] = (diag == Diag::NonUnit) ? x / a(j, j) : x;
+      }
+    }
+  } else {
+    // X * L = B: backward sweep over columns.
+    for (int i = 0; i < m; ++i) {
+      auto bi = b.row(i);
+      for (int j = n - 1; j >= 0; --j) {
+        double x = bi[j];
+        for (int p = j + 1; p < n; ++p) x -= bi[p] * a(p, j);
+        bi[j] = (diag == Diag::NonUnit) ? x / a(j, j) : x;
+      }
+    }
+  }
+}
+
+}  // namespace conflux::linalg

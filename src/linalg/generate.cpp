@@ -1,0 +1,63 @@
+#include "linalg/generate.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "support/random.hpp"
+
+namespace conflux::linalg {
+
+Matrix generate(int m, int n, MatrixKind kind, std::uint64_t seed) {
+  Matrix a(m, n);
+  Rng rng(seed);
+  switch (kind) {
+    case MatrixKind::Uniform:
+      for (int i = 0; i < m; ++i)
+        for (double& x : a.row(i)) x = rng.uniform(-1.0, 1.0);
+      break;
+    case MatrixKind::DiagDominant:
+      for (int i = 0; i < m; ++i)
+        for (double& x : a.row(i)) x = rng.uniform(-1.0, 1.0);
+      for (int i = 0; i < std::min(m, n); ++i) a(i, i) += n;
+      break;
+    case MatrixKind::Interaction:
+      // Decaying interactions: A(i,j) = cos(h(i,j)) / (1 + |i-j|) with a
+      // strong diagonal, a dense analogue of screened-Coulomb interaction
+      // matrices in electronic-structure codes.
+      for (int i = 0; i < m; ++i)
+        for (int j = 0; j < n; ++j) {
+          const double noise =
+              static_cast<double>(splitmix64(seed ^ (static_cast<std::uint64_t>(i) << 32 | static_cast<std::uint32_t>(j))) >> 11) *
+              0x1.0p-53;
+          a(i, j) = std::cos(6.28318530717958647 * noise) /
+                    (1.0 + std::abs(i - j));
+        }
+      for (int i = 0; i < std::min(m, n); ++i) a(i, i) += 2.0;
+      break;
+    case MatrixKind::Laplace2D: {
+      // n must be a perfect square for a true stencil; otherwise fall back to
+      // a 1D Laplacian. Entries: 4 on diagonal, -1 for grid neighbours.
+      const int side = static_cast<int>(std::lround(std::sqrt(n)));
+      const bool grid = (side * side == n) && (m == n);
+      for (int i = 0; i < std::min(m, n); ++i) a(i, i) = 4.0;
+      if (grid) {
+        for (int i = 0; i < n; ++i) {
+          const int r = i / side, c = i % side;
+          if (c + 1 < side) a(i, i + 1) = a(i + 1, i) = -1.0;
+          if (r + 1 < side) a(i, i + side) = a(i + side, i) = -1.0;
+        }
+      } else {
+        for (int i = 0; i + 1 < std::min(m, n); ++i)
+          a(i, i + 1) = a(i + 1, i) = -1.0;
+      }
+      break;
+    }
+  }
+  return a;
+}
+
+Matrix generate(int n, MatrixKind kind, std::uint64_t seed) {
+  return generate(n, n, kind, seed);
+}
+
+}  // namespace conflux::linalg

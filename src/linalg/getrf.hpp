@@ -1,0 +1,55 @@
+/// \file getrf.hpp
+/// Sequential LU factorization with partial pivoting (unblocked and blocked)
+/// plus pivot bookkeeping and residual checks. These serve as the reference
+/// against which the distributed algorithms are verified, and as the local
+/// building block inside panel factorizations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace conflux::linalg {
+
+/// Result flag for factorizations.
+enum class FactorStatus { Ok, Singular };
+
+/// In-place unblocked LU with partial pivoting on a (possibly tall) m x n
+/// view (m >= n not required; factors min(m, n) columns). On return `a`
+/// holds L (unit lower, below diagonal) and U (upper). `ipiv[k]` is the row
+/// (in 0-based local indices, >= k) swapped with row k at step k — LAPACK
+/// convention.
+FactorStatus getrf_unblocked(MatrixView a, std::span<int> ipiv);
+
+/// Blocked right-looking LU with partial pivoting, panel width `nb`.
+/// Semantics identical to getrf_unblocked.
+FactorStatus getrf_blocked(MatrixView a, std::span<int> ipiv, int nb);
+
+/// Apply the LAPACK-style pivot sequence to the rows of `a` (forward order):
+/// for k in [0, ipiv.size()): swap rows k and ipiv[k].
+void apply_pivots(MatrixView a, std::span<const int> ipiv);
+
+/// Convert a LAPACK ipiv sequence into the explicit row permutation `perm`
+/// such that (PA)(i, :) = A(perm[i], :).
+[[nodiscard]] std::vector<int> pivots_to_permutation(std::span<const int> ipiv,
+                                                     int m);
+
+/// Extract the unit-lower L factor (m x n) from a factored view.
+[[nodiscard]] Matrix extract_lower_unit(ConstMatrixView lu);
+/// Extract the upper U factor (n x n top block) from a factored view.
+[[nodiscard]] Matrix extract_upper(ConstMatrixView lu);
+
+/// Scaled residual max|P*A - L*U| / (n * max|A|); small (~1e-14 * growth)
+/// for a healthy factorization.
+[[nodiscard]] double lu_residual(const Matrix& original,
+                                 ConstMatrixView factored,
+                                 std::span<const int> ipiv);
+
+/// Element growth factor max|U| / max|A| — the standard stability proxy for
+/// pivoting strategies (tournament pivoting is shown in [29] to behave like
+/// partial pivoting).
+[[nodiscard]] double growth_factor(const Matrix& original,
+                                   ConstMatrixView factored);
+
+}  // namespace conflux::linalg

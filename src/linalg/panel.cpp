@@ -1,0 +1,118 @@
+#include "linalg/panel.hpp"
+
+#include <algorithm>
+
+#include "linalg/getrf.hpp"
+
+namespace conflux::linalg {
+
+std::vector<int> rank_rows_gepp(const PivotCandidates& cand, int v) {
+  const int m = cand.count();
+  const int n = cand.width();
+  const int keep = std::min(v, m);
+  if (keep == 0) return {};
+
+  Matrix scratch = cand.values;
+  std::vector<int> ipiv(static_cast<std::size_t>(std::min(m, n)));
+  // Only the first `keep` elimination steps matter; factoring fully is
+  // simpler and panels are narrow (n == v), so the cost is the same order.
+  (void)getrf_unblocked(scratch.view(), ipiv);
+  const std::vector<int> perm = pivots_to_permutation(ipiv, m);
+  return {perm.begin(), perm.begin() + keep};
+}
+
+PivotCandidates select_best(const PivotCandidates& cand, int v) {
+  const std::vector<int> chosen = rank_rows_gepp(cand, v);
+  PivotCandidates out;
+  out.values = Matrix(static_cast<int>(chosen.size()), cand.width());
+  out.rows.reserve(chosen.size());
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    out.rows.push_back(cand.rows[static_cast<std::size_t>(chosen[i])]);
+    auto src = cand.values.row(chosen[i]);
+    auto dst = out.values.row(static_cast<int>(i));
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+PivotCandidates tournament_round(const PivotCandidates& a,
+                                 const PivotCandidates& b, int v) {
+  CONFLUX_EXPECTS(a.count() == 0 || b.count() == 0 ||
+                  a.width() == b.width());
+  // Merge in GLOBAL ROW ORDER so that both butterfly partners — who see the
+  // two sets in opposite roles — produce bit-identical selections even under
+  // GEPP tie-breaking.
+  std::vector<std::pair<int, const PivotCandidates*>> order;
+  order.reserve(static_cast<std::size_t>(a.count() + b.count()));
+  for (const PivotCandidates* part : {&a, &b})
+    for (int i = 0; i < part->count(); ++i)
+      order.emplace_back(i, part);
+  std::sort(order.begin(), order.end(), [](const auto& x, const auto& y) {
+    return x.second->rows[static_cast<std::size_t>(x.first)] <
+           y.second->rows[static_cast<std::size_t>(y.first)];
+  });
+
+  PivotCandidates merged;
+  const int width = a.count() > 0 ? a.width() : b.width();
+  merged.values = Matrix(static_cast<int>(order.size()), width);
+  merged.rows.reserve(order.size());
+  int r = 0;
+  for (const auto& [i, part] : order) {
+    merged.rows.push_back(part->rows[static_cast<std::size_t>(i)]);
+    auto src = part->values.row(i);
+    auto dst = merged.values.row(r++);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return select_best(merged, v);
+}
+
+TournamentResult finalize_tournament(const PivotCandidates& winners) {
+  const int v = winners.count();
+  TournamentResult result;
+  result.a00 = winners.values;
+  std::vector<int> ipiv(static_cast<std::size_t>(
+      std::min(winners.count(), winners.width())));
+  (void)getrf_unblocked(result.a00.view(), ipiv);
+  const std::vector<int> perm = pivots_to_permutation(ipiv, v);
+  result.pivot_rows.reserve(static_cast<std::size_t>(v));
+  for (int i = 0; i < v; ++i)
+    result.pivot_rows.push_back(
+        winners.rows[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])]);
+  return result;
+}
+
+std::vector<double> pack_candidates(const PivotCandidates& cand) {
+  std::vector<double> buf;
+  const int m = cand.count();
+  const int n = cand.width();
+  buf.reserve(2 + static_cast<std::size_t>(m) * (1 + n));
+  buf.push_back(static_cast<double>(m));
+  buf.push_back(static_cast<double>(n));
+  for (int id : cand.rows) buf.push_back(static_cast<double>(id));
+  for (int i = 0; i < m; ++i) {
+    auto row = cand.values.row(i);
+    buf.insert(buf.end(), row.begin(), row.end());
+  }
+  return buf;
+}
+
+PivotCandidates unpack_candidates(std::span<const double> buffer) {
+  CONFLUX_EXPECTS(buffer.size() >= 2);
+  const int m = static_cast<int>(buffer[0]);
+  const int n = static_cast<int>(buffer[1]);
+  CONFLUX_EXPECTS(static_cast<std::size_t>(m) * (1 + n) + 2 == buffer.size());
+  PivotCandidates cand;
+  cand.rows.reserve(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i)
+    cand.rows.push_back(static_cast<int>(buffer[2 + static_cast<std::size_t>(i)]));
+  cand.values = Matrix(m, n);
+  const double* v = buffer.data() + 2 + m;
+  for (int i = 0; i < m; ++i) {
+    auto row = cand.values.row(i);
+    std::copy(v, v + n, row.begin());
+    v += n;
+  }
+  return cand;
+}
+
+}  // namespace conflux::linalg

@@ -1,0 +1,66 @@
+/// \file panel.hpp
+/// Tournament pivoting (TSLU) building blocks, §7.3 of the paper.
+///
+/// Tournament pivoting selects v pivot rows from a tall panel in a playoff of
+/// local selections: each participant ranks its rows by running Gaussian
+/// elimination with partial pivoting (GEPP) on a scratch copy and keeping the
+/// first v rows the permutation chose; pairs of participants then merge their
+/// candidate sets and reselect, log2(#participants) times. The winners'
+/// ORIGINAL values travel with their global row indices, so the final block
+/// can be factored exactly. Grigori, Demmel & Xiang [29] show the scheme is
+/// as stable as partial pivoting in practice.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace conflux::linalg {
+
+/// A candidate set: global row ids paired with the rows' original values.
+/// `values` is rows.size() x v.
+struct PivotCandidates {
+  std::vector<int> rows;
+  Matrix values;
+
+  [[nodiscard]] int count() const { return static_cast<int>(rows.size()); }
+  [[nodiscard]] int width() const { return values.cols(); }
+};
+
+/// Rank the candidate rows by GEPP on a scratch copy; returns the positions
+/// (indices into `cand.rows`) of the first min(v, count) rows in the order
+/// the elimination picked them.
+[[nodiscard]] std::vector<int> rank_rows_gepp(const PivotCandidates& cand,
+                                              int v);
+
+/// Keep the best min(v, count) rows of a candidate set (one local selection).
+[[nodiscard]] PivotCandidates select_best(const PivotCandidates& cand, int v);
+
+/// One tournament round: merge two candidate sets and reselect the best v.
+[[nodiscard]] PivotCandidates tournament_round(const PivotCandidates& a,
+                                               const PivotCandidates& b,
+                                               int v);
+
+/// Final tournament outcome.
+struct TournamentResult {
+  /// Global ids of the winning pivot rows, in the order GEPP eliminates them
+  /// (this is the within-block pivot order).
+  std::vector<int> pivot_rows;
+  /// The factored v x v pivot block: unit-lower L00 below the diagonal, U00
+  /// on/above it, rows already in `pivot_rows` order.
+  Matrix a00;
+};
+
+/// Factor the winner block: reorders winners by their GEPP pivot order and
+/// returns the packed LU factors.
+[[nodiscard]] TournamentResult finalize_tournament(
+    const PivotCandidates& winners);
+
+/// Serialize candidates for transport: [count, width, rows..., values...]
+/// packed into doubles (row ids are exactly representable).
+[[nodiscard]] std::vector<double> pack_candidates(const PivotCandidates& cand);
+/// Inverse of pack_candidates.
+[[nodiscard]] PivotCandidates unpack_candidates(
+    std::span<const double> buffer);
+
+}  // namespace conflux::linalg

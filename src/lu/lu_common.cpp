@@ -1,0 +1,50 @@
+#include "lu/lu_common.hpp"
+
+#include <algorithm>
+
+#include "lu/candmc25d.hpp"
+#include "lu/conflux25d.hpp"
+#include "lu/scalapack2d.hpp"
+#include "support/random.hpp"
+
+namespace conflux::lu {
+
+std::unique_ptr<LuAlgorithm> make_algorithm(const std::string& name) {
+  if (name == "COnfLUX") return std::make_unique<Conflux25D>();
+  if (name == "LibSci") return std::make_unique<ScaLapack2D>(false);
+  if (name == "SLATE") return std::make_unique<ScaLapack2D>(true);
+  if (name == "CANDMC") return std::make_unique<Candmc25D>();
+  CONFLUX_EXPECTS_MSG(false, "unknown LU algorithm '" << name << "'");
+  return nullptr;  // unreachable
+}
+
+std::vector<std::unique_ptr<LuAlgorithm>> all_algorithms() {
+  std::vector<std::unique_ptr<LuAlgorithm>> algos;
+  algos.push_back(make_algorithm("LibSci"));
+  algos.push_back(make_algorithm("SLATE"));
+  algos.push_back(make_algorithm("CANDMC"));
+  algos.push_back(make_algorithm("COnfLUX"));
+  return algos;
+}
+
+std::vector<int> synthetic_pivots(const std::vector<std::uint8_t>& pivoted,
+                                  int n, int v, int step, std::uint64_t seed) {
+  std::vector<std::pair<std::uint64_t, int>> ranked;
+  ranked.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    if (pivoted[static_cast<std::size_t>(r)]) continue;
+    ranked.emplace_back(
+        splitmix64(seed ^ (static_cast<std::uint64_t>(step) << 32) ^
+                   static_cast<std::uint64_t>(r) * 0x9E3779B97F4A7C15ULL),
+        r);
+  }
+  CONFLUX_EXPECTS(static_cast<int>(ranked.size()) >= v);
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(v));
+  for (int q = 0; q < v; ++q)
+    out.push_back(ranked[static_cast<std::size_t>(q)].second);
+  return out;
+}
+
+}  // namespace conflux::lu

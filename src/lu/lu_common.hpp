@@ -1,0 +1,109 @@
+/// \file lu_common.hpp
+/// Shared configuration, result and interface types for the distributed LU
+/// implementations (COnfLUX and the three comparison targets of §8).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "simnet/stats.hpp"
+
+namespace conflux::lu {
+
+/// Execution mode.
+/// - Numeric: factor real data, record the factors, verify ||LU - PA||.
+/// - DryRun: execute the identical communication schedule with ghost
+///   payloads and synthetic (hash-spread) pivots. Message sizes in every
+///   algorithm depend only on index sets, never on matrix values, so the
+///   measured volume is exact (tests assert DryRun == Numeric volume).
+enum class Mode { Numeric, DryRun };
+
+/// A distributed-LU problem configuration.
+struct LuConfig {
+  int n = 0;       ///< matrix dimension; must be a multiple of the block size
+  int p = 1;       ///< ranks available (nodes in the paper's terminology)
+  int block = 0;   ///< v (2.5D algorithms) or nb (2D); 0 = auto-tune
+  double mem_elements = 0;  ///< per-rank memory budget M in elements;
+                            ///< <= 0 selects the paper's max-replication rule
+                            ///< M = N^2 / P^(2/3)
+  Mode mode = Mode::Numeric;
+  std::uint64_t seed = 42;  ///< synthetic pivot seed (DryRun)
+
+  // --- ablation knobs (bench_ablation) ------------------------------------
+  bool grid_optimization = true;  ///< COnfLUX: search the best [Px,Py,c] grid
+  int force_layers = 0;           ///< force the replication depth c (0 = auto)
+  bool verify = true;             ///< Numeric: assemble factors and check
+  bool keep_factors = false;      ///< Numeric: retain packed factors +
+                                  ///< permutation in the result (lu_solve)
+
+  [[nodiscard]] LuConfig with_mode(Mode m) const {
+    LuConfig copy = *this;
+    copy.mode = m;
+    return copy;
+  }
+};
+
+/// Result of one factorization run.
+struct LuResult {
+  simnet::CommVolume total;          ///< summed over ranks (Score-P metric)
+  std::uint64_t max_rank_bytes = 0;  ///< busiest rank, sent+received (Fig. 6)
+  int ranks_used = 0;                ///< active ranks (grid may idle some)
+  int ranks_available = 0;           ///< the P the caller asked for
+  std::string grid;                  ///< human-readable grid description
+  int block = 0;                     ///< block size actually used
+  double residual = std::numeric_limits<double>::quiet_NaN();  ///< Numeric
+  double growth = std::numeric_limits<double>::quiet_NaN();    ///< Numeric
+  double seconds = 0;                ///< wall time of the simulated run
+
+  /// Packed factors (L below the diagonal, U on/above) in permuted row
+  /// order, and the row permutation with L*U = A[permutation, :]. Only
+  /// populated by numeric runs with cfg.keep_factors (see lu/solve.hpp).
+  std::shared_ptr<linalg::Matrix> factors;
+  std::vector<int> permutation;
+
+  /// Total bytes sent over the network — the paper's "communication volume".
+  [[nodiscard]] double total_bytes() const {
+    return static_cast<double>(total.bytes_sent);
+  }
+  /// Average per-available-rank volume (Fig. 6's per-node axis).
+  [[nodiscard]] double bytes_per_rank() const {
+    return total_bytes() / std::max(1, ranks_available);
+  }
+};
+
+/// Interface implemented by all four LU algorithms.
+class LuAlgorithm {
+ public:
+  virtual ~LuAlgorithm() = default;
+
+  /// Name as used in the paper's tables.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Factor `a` under `cfg`. In DryRun mode `a` may be null. In Numeric
+  /// mode with cfg.verify, the result carries the scaled residual
+  /// max|LU - PA| / (N max|A|).
+  [[nodiscard]] virtual LuResult run(const linalg::Matrix* a,
+                                     const LuConfig& cfg) = 0;
+};
+
+/// Instantiate an algorithm by table name: "COnfLUX", "LibSci", "SLATE",
+/// "CANDMC". Throws ContractViolation for unknown names.
+[[nodiscard]] std::unique_ptr<LuAlgorithm> make_algorithm(
+    const std::string& name);
+
+/// All four, in Table 2 order (LibSci, SLATE, CANDMC, COnfLUX).
+[[nodiscard]] std::vector<std::unique_ptr<LuAlgorithm>> all_algorithms();
+
+/// Deterministic synthetic pivot choice for dry runs: pick `v` rows from the
+/// not-yet-pivoted set by hashed order, which spreads pivots evenly across
+/// tile rows (the "with high probability, pivots are evenly distributed"
+/// assumption of §7.4). All ranks compute the same selection locally.
+[[nodiscard]] std::vector<int> synthetic_pivots(
+    const std::vector<std::uint8_t>& pivoted, int n, int v, int step,
+    std::uint64_t seed);
+
+}  // namespace conflux::lu

@@ -1,0 +1,496 @@
+#include "lu/scalapack2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "grid/block_cyclic.hpp"
+#include "grid/grid_opt.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/getrf.hpp"
+#include "simnet/collectives.hpp"
+#include "simnet/spmd.hpp"
+#include "support/random.hpp"
+#include "support/timer.hpp"
+
+namespace conflux::lu {
+
+namespace {
+
+using grid::BlockCyclic1D;
+using grid::Grid2D;
+using linalg::Matrix;
+using simnet::Comm;
+using simnet::Group;
+using simnet::make_tag;
+using simnet::Tag;
+
+std::uint64_t swap_hash(std::uint64_t seed, int col) {
+  return splitmix64(seed ^ 0xC0FFEEULL ^
+                    static_cast<std::uint64_t>(col) * 0x9E3779B97F4A7C15ULL);
+}
+
+/// Per-rank view of the 2D decomposition.
+struct Local2D {
+  int pr = 0, pc = 0;
+  BlockCyclic1D rowmap{1, 1, 1};
+  BlockCyclic1D colmap{1, 1, 1};
+  std::vector<int> my_rows;  ///< owned global rows, ascending
+  std::vector<int> my_cols;  ///< owned global cols, ascending
+  Matrix loc;                ///< numeric local block (my_rows x my_cols)
+
+  [[nodiscard]] int lrow(int g) const { return rowmap.local_of(g); }
+  [[nodiscard]] int lcol(int g) const { return colmap.local_of(g); }
+
+  /// First local row index whose global row is >= g.
+  [[nodiscard]] int lrow_lower_bound(int g) const {
+    return static_cast<int>(
+        std::lower_bound(my_rows.begin(), my_rows.end(), g) -
+        my_rows.begin());
+  }
+  [[nodiscard]] int lcol_lower_bound(int g) const {
+    return static_cast<int>(
+        std::lower_bound(my_cols.begin(), my_cols.end(), g) -
+        my_cols.begin());
+  }
+};
+
+}  // namespace
+
+void scalapack2d_body(Comm& comm, const Scalapack2DParams& params) {
+  const int n = params.n;
+  const int nb = params.nb;
+  const Grid2D& g = params.g;
+  const bool numeric = params.numeric;
+  CONFLUX_EXPECTS(n % nb == 0);
+
+  Local2D me;
+  {
+    const int local_id = comm.rank() - params.base_rank;
+    CONFLUX_EXPECTS(local_id >= 0 && local_id < g.active());
+    me.pr = g.row_of(local_id);
+    me.pc = g.col_of(local_id);
+    me.rowmap = BlockCyclic1D(n, nb, g.rows());
+    me.colmap = BlockCyclic1D(n, nb, g.cols());
+    me.my_rows = me.rowmap.indices_of_owner(me.pr);
+    me.my_cols = me.colmap.indices_of_owner(me.pc);
+    if (numeric) {
+      me.loc = Matrix(static_cast<int>(me.my_rows.size()),
+                      static_cast<int>(me.my_cols.size()));
+      for (std::size_t i = 0; i < me.my_rows.size(); ++i)
+        for (std::size_t j = 0; j < me.my_cols.size(); ++j)
+          me.loc(static_cast<int>(i), static_cast<int>(j)) =
+              (*params.a)(me.my_rows[i], me.my_cols[j]);
+    }
+  }
+
+  auto rank_of = [&](int pr, int pc) {
+    return params.base_rank + g.rank_of(pr, pc);
+  };
+  // The column group containing process column pc (all pr), and the row
+  // group containing process row pr (all pc).
+  auto col_group = [&](int pc) {
+    Group grp;
+    for (int pr = 0; pr < g.rows(); ++pr) grp.ranks.push_back(rank_of(pr, pc));
+    return grp;
+  };
+  auto row_group = [&](int pr) {
+    Group grp;
+    for (int pc = 0; pc < g.cols(); ++pc) grp.ranks.push_back(rank_of(pr, pc));
+    return grp;
+  };
+
+  std::vector<int> ipiv(static_cast<std::size_t>(n), -1);
+  const int steps = n / nb;
+
+  for (int s = 0; s < steps; ++s) {
+    const int k0 = s * nb;
+    const int kb = nb;
+    const int pck = me.colmap.owner_of(k0);
+    const int prk = me.rowmap.owner_of(k0);
+    const std::uint32_t ts = static_cast<std::uint32_t>(s);
+
+    // ---- Panel factorization (process column pck) ----------------------
+    if (numeric) {
+      if (me.pc == pck) {
+        const Group cg = col_group(pck);
+        for (int j = k0; j < k0 + kb; ++j) {
+          const std::uint32_t js = static_cast<std::uint32_t>(j - k0);
+          // Local pivot search in column j, rows >= j.
+          simnet::MaxLoc mine;
+          const int jl = me.lcol(j);
+          for (int il = me.lrow_lower_bound(j);
+               il < static_cast<int>(me.my_rows.size()); ++il) {
+            const double val = std::abs(me.loc(il, jl));
+            if (val > mine.value) {
+              mine.value = val;
+              mine.location = me.my_rows[static_cast<std::size_t>(il)];
+            }
+          }
+          const simnet::MaxLoc win =
+              simnet::allreduce_maxloc(comm, cg, mine, make_tag(20, ts, js));
+          const int piv = win.location >= 0 ? win.location : j;
+          ipiv[static_cast<std::size_t>(j)] = piv;
+
+          // Swap rows j <-> piv within the panel columns.
+          if (piv != j) {
+            const int o1 = me.rowmap.owner_of(j);
+            const int o2 = me.rowmap.owner_of(piv);
+            if (o1 == o2) {
+              if (me.pr == o1) {
+                const int r1 = me.lrow(j), r2 = me.lrow(piv);
+                for (int col = k0; col < k0 + kb; ++col)
+                  std::swap(me.loc(r1, me.lcol(col)),
+                            me.loc(r2, me.lcol(col)));
+              }
+            } else if (me.pr == o1 || me.pr == o2) {
+              const int other = rank_of(me.pr == o1 ? o2 : o1, pck);
+              const int my_row = me.lrow(me.pr == o1 ? j : piv);
+              std::vector<double> buf;
+              buf.reserve(static_cast<std::size_t>(kb));
+              for (int col = k0; col < k0 + kb; ++col)
+                buf.push_back(me.loc(my_row, me.lcol(col)));
+              const std::vector<double> theirs =
+                  comm.exchange(other, make_tag(21, ts, js), buf);
+              for (int col = k0; col < k0 + kb; ++col)
+                me.loc(my_row, me.lcol(col)) =
+                    theirs[static_cast<std::size_t>(col - k0)];
+            }
+          }
+
+          // Broadcast the (swapped-in) pivot row segment [j .. k0+kb).
+          std::vector<double> seg(static_cast<std::size_t>(k0 + kb - j));
+          const int powner = me.rowmap.owner_of(j);
+          if (me.pr == powner) {
+            const int r = me.lrow(j);
+            for (int col = j; col < k0 + kb; ++col)
+              seg[static_cast<std::size_t>(col - j)] = me.loc(r, me.lcol(col));
+          }
+          simnet::bcast(comm, cg, powner, seg, make_tag(22, ts, js));
+
+          // Scale column j below the diagonal and rank-1 update the panel.
+          const double diag = seg[0];
+          const double inv = diag != 0.0 ? 1.0 / diag : 0.0;
+          for (int il = me.lrow_lower_bound(j + 1);
+               il < static_cast<int>(me.my_rows.size()); ++il) {
+            const int jl2 = me.lcol(j);
+            me.loc(il, jl2) *= inv;
+            const double lij = me.loc(il, jl2);
+            for (int col = j + 1; col < k0 + kb; ++col)
+              me.loc(il, me.lcol(col)) -=
+                  lij * seg[static_cast<std::size_t>(col - j)];
+          }
+        }
+      }
+    } else {
+      // Dry run: synthetic pivots spread over the remaining rows; the
+      // per-column max-loc allreduces and pivot-row broadcasts are
+      // aggregated into per-panel ghosts of identical total volume.
+      for (int j = k0; j < k0 + kb; ++j)
+        ipiv[static_cast<std::size_t>(j)] =
+            j + static_cast<int>(swap_hash(params.seed, j) %
+                                 static_cast<std::uint64_t>(n - j));
+      if (me.pc == pck) {
+        const Group cg = col_group(pck);
+        const std::size_t pair_bytes =
+            static_cast<std::size_t>(kb) * (sizeof(double) + sizeof(int));
+        simnet::reduce_ghost(comm, cg, 0, pair_bytes, make_tag(20, ts, 0));
+        (void)simnet::bcast_ghost(comm, cg, 0, pair_bytes,
+                                  make_tag(20, ts, 1));
+        // Pivot-row segments: sum over columns of (kb - jj) doubles.
+        const std::size_t seg_doubles =
+            static_cast<std::size_t>(kb) * (kb + 1) / 2;
+        (void)simnet::bcast_ghost(comm, cg, 0, seg_doubles * sizeof(double),
+                                  make_tag(22, ts, 0));
+        // Panel-width swap exchanges.
+        for (int j = k0; j < k0 + kb; ++j) {
+          const int piv = ipiv[static_cast<std::size_t>(j)];
+          if (piv == j) continue;
+          const int o1 = me.rowmap.owner_of(j);
+          const int o2 = me.rowmap.owner_of(piv);
+          if (o1 == o2) continue;
+          const std::uint32_t js = static_cast<std::uint32_t>(j - k0);
+          if (me.pr == o1 || me.pr == o2) {
+            const int other = rank_of(me.pr == o1 ? o2 : o1, pck);
+            comm.send_ghost_doubles(other, make_tag(21, ts, js),
+                                    static_cast<std::size_t>(kb));
+            (void)comm.recv_ghost(other, make_tag(21, ts, js));
+          }
+        }
+      }
+    }
+
+    // ---- Share the panel's pivot indices along process rows -------------
+    // (part of pdgetrf's panel broadcast; pdlaswp needs ipiv everywhere).
+    {
+      const Group rg = row_group(me.pr);
+      if (numeric) {
+        std::vector<int> piv_step(ipiv.begin() + k0, ipiv.begin() + k0 + kb);
+        simnet::bcast_ints(comm, rg, pck, piv_step, make_tag(26, ts, 0));
+        std::copy(piv_step.begin(), piv_step.end(), ipiv.begin() + k0);
+      } else {
+        (void)simnet::bcast_ghost(comm, rg, pck,
+                                  static_cast<std::size_t>(kb) * sizeof(int),
+                                  make_tag(26, ts, 0));
+      }
+    }
+
+    // ---- Batched row interchanges outside the panel (pdlaswp) ----------
+    {
+      // Convert the kb sequential swaps into an explicit permutation
+      // (pdlapiv semantics): occupant[pos] = original row whose data must
+      // end up at position pos. Applying moves from original positions is
+      // then order-independent, so messages batch safely even when swap
+      // chains share rows.
+      std::map<int, int> occupant;
+      auto occ = [&](int pos) {
+        const auto it = occupant.find(pos);
+        return it == occupant.end() ? pos : it->second;
+      };
+      for (int j = k0; j < k0 + kb; ++j) {
+        const int piv = ipiv[static_cast<std::size_t>(j)];
+        if (piv == j) continue;
+        const int oj = occ(j), op = occ(piv);
+        occupant[j] = op;
+        occupant[piv] = oj;
+      }
+      // Columns outside the panel that I own (sender and receiver live in
+      // the same process column, so both sides see the same width).
+      std::vector<int> out_cols;
+      for (int col : me.my_cols)
+        if (col < k0 || col >= k0 + kb) out_cols.push_back(col);
+
+      // Moves grouped by (source owner -> destination owner).
+      std::map<std::pair<int, int>, std::vector<std::pair<int, int>>> moves;
+      for (const auto& [pos, src] : occupant) {
+        if (pos == src) continue;
+        moves[{me.rowmap.owner_of(src), me.rowmap.owner_of(pos)}]
+            .emplace_back(src, pos);
+      }
+      // Stage all outgoing data before any write, then send, then receive.
+      std::vector<std::pair<int, int>> local_moves;  // (src, pos), same owner
+      struct Outgoing {
+        int dst_rank;
+        Tag tag;
+        std::vector<double> buf;
+        std::size_t count;
+      };
+      std::vector<Outgoing> outbox;
+      unsigned pair_id = 0;
+      for (const auto& [owners, mv] : moves) {
+        const auto [osrc, odst] = owners;
+        ++pair_id;
+        if (osrc == odst) {
+          if (me.pr == osrc)
+            local_moves.insert(local_moves.end(), mv.begin(), mv.end());
+          continue;
+        }
+        if (me.pr == osrc) {
+          Outgoing out;
+          out.dst_rank = rank_of(odst, me.pc);
+          out.tag = make_tag(23, ts, pair_id);
+          out.count = mv.size() * out_cols.size();
+          if (numeric) {
+            out.buf.reserve(out.count);
+            for (const auto& [src, pos] : mv) {
+              const int r = me.lrow(src);
+              for (int col : out_cols)
+                out.buf.push_back(me.loc(r, me.lcol(col)));
+            }
+          }
+          outbox.push_back(std::move(out));
+        }
+      }
+      // Stage local (same-owner) moves: read everything, then write.
+      std::vector<std::vector<double>> staged;
+      if (numeric && me.pr >= 0) {
+        for (const auto& [src, pos] : local_moves) {
+          (void)pos;
+          std::vector<double> row;
+          row.reserve(out_cols.size());
+          const int r = me.lrow(src);
+          for (int col : out_cols) row.push_back(me.loc(r, me.lcol(col)));
+          staged.push_back(std::move(row));
+        }
+      }
+      for (auto& out : outbox) {
+        if (numeric)
+          comm.send(out.dst_rank, out.tag, std::move(out.buf));
+        else
+          comm.send_ghost_doubles(out.dst_rank, out.tag, out.count);
+      }
+      if (numeric) {
+        for (std::size_t i = 0; i < local_moves.size(); ++i) {
+          const int r = me.lrow(local_moves[i].second);
+          for (std::size_t jl = 0; jl < out_cols.size(); ++jl)
+            me.loc(r, me.lcol(out_cols[jl])) = staged[i][jl];
+        }
+      }
+      pair_id = 0;
+      for (const auto& [owners, mv] : moves) {
+        const auto [osrc, odst] = owners;
+        ++pair_id;
+        if (osrc == odst || me.pr != odst) continue;
+        const Tag tag = make_tag(23, ts, pair_id);
+        const int src_rank = rank_of(osrc, me.pc);
+        if (numeric) {
+          const std::vector<double> buf = comm.recv(src_rank, tag);
+          std::size_t off = 0;
+          for (const auto& [src, pos] : mv) {
+            (void)src;
+            const int r = me.lrow(pos);
+            for (int col : out_cols) me.loc(r, me.lcol(col)) = buf[off++];
+          }
+        } else {
+          (void)comm.recv_ghost(src_rank, tag);
+        }
+      }
+    }
+
+    // ---- Broadcast the L panel along process rows -----------------------
+    // Panel piece on (pr, pck): my rows >= k0 x kb columns.
+    const int mrow0 = me.lrow_lower_bound(k0);
+    const int m_loc = static_cast<int>(me.my_rows.size()) - mrow0;
+    Matrix lpanel;  // m_loc x kb, rows ascending global
+    {
+      const Group rg = row_group(me.pr);
+      const Tag tag = make_tag(24, ts, 0);
+      if (numeric) {
+        std::vector<double> buf;
+        if (me.pc == pck) {
+          buf.reserve(static_cast<std::size_t>(m_loc) * kb);
+          for (int il = mrow0; il < static_cast<int>(me.my_rows.size()); ++il)
+            for (int col = k0; col < k0 + kb; ++col)
+              buf.push_back(me.loc(il, me.lcol(col)));
+        } else {
+          buf.resize(static_cast<std::size_t>(m_loc) * kb);
+        }
+        simnet::bcast(comm, rg, pck, buf, tag);
+        lpanel = Matrix(m_loc, kb);
+        std::copy(buf.begin(), buf.end(), lpanel.data());
+      } else {
+        (void)simnet::bcast_ghost(
+            comm, rg, pck, static_cast<std::size_t>(m_loc) * kb * 8, tag);
+      }
+    }
+
+    // ---- U block row: solve and broadcast down process columns ----------
+    const int ncol0 = me.lcol_lower_bound(k0 + kb);
+    const int ntrail = static_cast<int>(me.my_cols.size()) - ncol0;
+    Matrix u01;  // kb x ntrail
+    {
+      const Group cg = col_group(me.pc);
+      const Tag tag = make_tag(25, ts, 0);
+      if (numeric) {
+        std::vector<double> buf;
+        if (me.pr == prk) {
+          // My copy of L00 sits in the first kb rows of lpanel.
+          auto l00 = lpanel.block(0, 0, kb, kb);
+          u01 = Matrix(kb, ntrail);
+          for (int q = 0; q < kb; ++q) {
+            const int r = me.lrow(k0 + q);
+            for (int jl = ncol0; jl < static_cast<int>(me.my_cols.size());
+                 ++jl)
+              u01(q, jl - ncol0) = me.loc(r, jl);
+          }
+          linalg::trsm_left(linalg::Triangle::Lower, linalg::Diag::Unit, l00,
+                            u01.view());
+          // Write the solved U block row back into the local matrix.
+          for (int q = 0; q < kb; ++q) {
+            const int r = me.lrow(k0 + q);
+            for (int jl = ncol0; jl < static_cast<int>(me.my_cols.size());
+                 ++jl)
+              me.loc(r, jl) = u01(q, jl - ncol0);
+          }
+          buf.assign(u01.data(), u01.data() + u01.size());
+        } else {
+          buf.resize(static_cast<std::size_t>(kb) * ntrail);
+        }
+        simnet::bcast(comm, cg, prk, buf, tag);
+        if (me.pr != prk) {
+          u01 = Matrix(kb, ntrail);
+          std::copy(buf.begin(), buf.end(), u01.data());
+        }
+      } else {
+        (void)simnet::bcast_ghost(
+            comm, cg, prk, static_cast<std::size_t>(kb) * ntrail * 8, tag);
+      }
+    }
+
+    // ---- Local trailing update -----------------------------------------
+    if (numeric && ntrail > 0) {
+      const int urow0 = me.lrow_lower_bound(k0 + kb);
+      const int mtrail = static_cast<int>(me.my_rows.size()) - urow0;
+      if (mtrail > 0) {
+        auto l10 = lpanel.block(urow0 - mrow0, 0, mtrail, kb);
+        auto a11 = me.loc.block(urow0, ncol0, mtrail, ntrail);
+        linalg::schur_update(a11, l10, u01.view());
+      }
+    }
+  }
+
+  // ---- Out-of-band result collection (not part of measured volume) -----
+  if (numeric && params.gathered != nullptr) {
+    for (std::size_t i = 0; i < me.my_rows.size(); ++i)
+      for (std::size_t j = 0; j < me.my_cols.size(); ++j)
+        (*params.gathered)(me.my_rows[i], me.my_cols[j]) =
+            me.loc(static_cast<int>(i), static_cast<int>(j));
+  }
+  if (params.ipiv_out != nullptr && comm.rank() == params.base_rank)
+    *params.ipiv_out = std::move(ipiv);
+}
+
+LuResult ScaLapack2D::run(const linalg::Matrix* a, const LuConfig& cfg) {
+  CONFLUX_EXPECTS(cfg.n >= 1 && cfg.p >= 1);
+  CONFLUX_EXPECTS(cfg.mode == Mode::DryRun || a != nullptr);
+
+  const Grid2D g = slate_ ? grid::choose_grid_2d_near_square(cfg.p)
+                          : grid::choose_grid_2d_all_ranks(cfg.p);
+  const int requested_nb = cfg.block > 0 ? cfg.block : (slate_ ? 16 : 64);
+  const int nb = grid::choose_block_size(cfg.n, 1, requested_nb);
+
+  Scalapack2DParams params;
+  params.n = cfg.n;
+  params.nb = nb;
+  params.g = g;
+  params.base_rank = 0;
+  params.numeric = (cfg.mode == Mode::Numeric);
+  params.seed = cfg.seed;
+  params.a = a;
+
+  linalg::Matrix gathered;
+  std::vector<int> ipiv;
+  const bool verify = params.numeric && cfg.verify;
+  const bool gather = params.numeric && (cfg.verify || cfg.keep_factors);
+  if (gather) {
+    gathered = linalg::Matrix(cfg.n, cfg.n);
+    params.gathered = &gathered;
+    params.ipiv_out = &ipiv;
+  }
+
+  simnet::Network net(g.active());
+  Stopwatch timer;
+  simnet::run_spmd(net,
+                   [&](simnet::Comm& comm) { scalapack2d_body(comm, params); });
+
+  LuResult result;
+  result.seconds = timer.seconds();
+  result.total = net.stats().total();
+  result.max_rank_bytes = net.stats().max_rank_bytes();
+  result.ranks_used = g.active();
+  result.ranks_available = cfg.p;
+  result.grid = g.to_string();
+  result.block = nb;
+  if (verify) {
+    result.residual = linalg::lu_residual(*a, gathered.view(), ipiv);
+    result.growth = linalg::growth_factor(*a, gathered.view());
+  }
+  if (params.numeric && cfg.keep_factors) {
+    result.permutation = linalg::pivots_to_permutation(ipiv, cfg.n);
+    result.factors =
+        std::make_shared<linalg::Matrix>(std::move(gathered));
+  }
+  return result;
+}
+
+}  // namespace conflux::lu

@@ -1,0 +1,53 @@
+/// \file scalapack2d.hpp
+/// The 2D comparison targets of §8: a right-looking block-cyclic LU with
+/// partial pivoting, the textbook ScaLAPACK pdgetrf schedule that both Cray
+/// LibSci and SLATE implement (Table 2 classifies both as 2D with leading
+/// cost N^2/sqrt(P) per rank). The two proxies differ exactly where the
+/// real libraries differ for communication purposes:
+///   - LibSci: greedy divisor grid over ALL ranks (1 x P at primes — the
+///     outlier behaviour in Fig. 6a's inset), default block 64;
+///   - SLATE: near-square grid that may idle a few ranks, default block 16.
+#pragma once
+
+#include "grid/grid3d.hpp"
+#include "lu/lu_common.hpp"
+#include "simnet/comm.hpp"
+
+namespace conflux::lu {
+
+/// Shared SPMD body so the CANDMC proxy can replicate it per layer.
+/// `base_rank` maps the (pr, pc) grid onto global ranks
+/// base_rank + pr + Pr * pc. In numeric mode, `gathered`/`ipiv_out` (when
+/// non-null) receive the factored matrix and the pivot sequence via disjoint
+/// out-of-band writes (result collection is not part of the measured
+/// volume).
+struct Scalapack2DParams {
+  int n = 0;
+  int nb = 0;
+  grid::Grid2D g{1, 1};
+  int base_rank = 0;
+  bool numeric = true;
+  std::uint64_t seed = 42;
+  const linalg::Matrix* a = nullptr;  ///< input (numeric mode)
+  linalg::Matrix* gathered = nullptr;
+  std::vector<int>* ipiv_out = nullptr;
+};
+
+void scalapack2d_body(simnet::Comm& comm, const Scalapack2DParams& params);
+
+/// LibSci proxy (and, via `slate_mode`, the SLATE proxy).
+class ScaLapack2D : public LuAlgorithm {
+ public:
+  explicit ScaLapack2D(bool slate_mode = false) : slate_(slate_mode) {}
+
+  [[nodiscard]] std::string name() const override {
+    return slate_ ? "SLATE" : "LibSci";
+  }
+  [[nodiscard]] LuResult run(const linalg::Matrix* a,
+                             const LuConfig& cfg) override;
+
+ private:
+  bool slate_;
+};
+
+}  // namespace conflux::lu

@@ -1,0 +1,52 @@
+/// \file step_records.hpp
+/// Out-of-band recording of per-step factors for verification.
+///
+/// The paper (and this reproduction) excludes result collection from the
+/// measured communication volume; ranks therefore write their factor pieces
+/// straight into pre-allocated shared buffers. Writes are disjoint by
+/// construction (each row/column chunk has exactly one owner), and the
+/// SPMD join synchronizes before the host reads them.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace conflux::lu {
+
+/// Factors produced at outer-loop step t of a block algorithm with masked
+/// rows (COnfLUX). Row-indexed by *global* row id so concurrent writers
+/// stay disjoint.
+struct StepRecord {
+  std::vector<int> pivots;  ///< the v pivot rows chosen this step, in order
+  linalg::Matrix a00;       ///< v x v packed LU of the pivot block
+  linalg::Matrix a10;       ///< N x v; row r holds L[r, step-cols] if r was
+                            ///< unpivoted at this step
+  linalg::Matrix a01;       ///< v x N; column c holds U[step-rows, c] for
+                            ///< trailing columns
+};
+
+/// Pre-sized record set for n / v steps.
+[[nodiscard]] std::vector<StepRecord> make_step_records(int n, int v);
+
+/// Assemble the explicit factors from step records:
+/// rows of L and U appear in pivot order (the row permutation), columns in
+/// natural order, so that L * U == A[pivot_order, :].
+struct AssembledFactors {
+  std::vector<int> pivot_order;  ///< row permutation: position -> global row
+  linalg::Matrix l;              ///< n x n unit lower triangular
+  linalg::Matrix u;              ///< n x n upper triangular
+};
+
+[[nodiscard]] AssembledFactors assemble_factors(
+    const std::vector<StepRecord>& records, int n, int v);
+
+/// Scaled residual max|L*U - A[perm, :]| / (n * max|A|).
+[[nodiscard]] double masked_lu_residual(const linalg::Matrix& a,
+                                        const AssembledFactors& f);
+
+/// Growth factor max|U| / max|A|.
+[[nodiscard]] double masked_growth_factor(const linalg::Matrix& a,
+                                          const AssembledFactors& f);
+
+}  // namespace conflux::lu

@@ -1,0 +1,21 @@
+#include "models/machines.hpp"
+
+namespace conflux::models {
+
+namespace {
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+}
+
+Machine piz_daint() { return {"Piz Daint", 5704, 64.0 * kGiB}; }
+
+Machine summit() { return {"Summit", 4608, (512.0 + 96.0) * kGiB}; }
+
+Machine taihulight() { return {"TaihuLight", 40960, 32.0 * kGiB}; }
+
+Machine future_exascale() { return {"Future-262k", 262144, 16.0 * kGiB}; }
+
+std::vector<Machine> all_machines() {
+  return {piz_daint(), summit(), taihulight(), future_exascale()};
+}
+
+}  // namespace conflux::models

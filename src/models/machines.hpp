@@ -1,0 +1,42 @@
+/// \file machines.hpp
+/// Machine presets used for the paper's extrapolations (§9, "Implications
+/// for Exascale"): Piz Daint (the measurement platform), Summit and Sunway
+/// TaihuLight (prediction targets), plus a generic future machine at the
+/// P = 262,144 rank scale the paper cites.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace conflux::models {
+
+/// A machine's coarse parameters for the volume models.
+struct Machine {
+  std::string name;
+  int ranks = 0;                ///< MPI ranks at full scale (1/socket or GPU)
+  double mem_bytes_per_rank = 0;  ///< usable memory per rank
+
+  /// Memory budget in matrix elements per rank, assuming doubles and a
+  /// utilization factor (the whole budget cannot hold working copies).
+  [[nodiscard]] double mem_elements(double utilization = 0.5) const {
+    return mem_bytes_per_rank * utilization / 8.0;
+  }
+};
+
+/// CSCS Piz Daint: 5,704 XC50 nodes, 64 GiB, 1 rank per node (§8).
+[[nodiscard]] Machine piz_daint();
+
+/// OLCF Summit: 4,608 nodes, one rank per node (the paper's full-scale
+/// prediction target).
+[[nodiscard]] Machine summit();
+
+/// Sunway TaihuLight: 40,960 nodes.
+[[nodiscard]] Machine taihulight();
+
+/// Generic near-future machine with 262,144 ranks (the largest P in Fig. 7).
+[[nodiscard]] Machine future_exascale();
+
+/// All presets.
+[[nodiscard]] std::vector<Machine> all_machines();
+
+}  // namespace conflux::models

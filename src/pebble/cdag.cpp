@@ -1,0 +1,98 @@
+#include "pebble/cdag.hpp"
+
+namespace conflux::pebble {
+
+BuiltDag lu_cdag(int n) {
+  CONFLUX_EXPECTS(n >= 1);
+  BuiltDag built;
+  auto& dag = built.dag;
+  // cur[i][j] = current vertex holding element (i, j).
+  std::vector<std::vector<int>> cur(static_cast<std::size_t>(n),
+                                    std::vector<int>(static_cast<std::size_t>(n)));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      cur[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          dag.add_vertex({});
+
+  for (int k = 0; k < n; ++k) {
+    for (int i = k + 1; i < n; ++i) {
+      // S1: A(i,k) <- A(i,k) / A(k,k)
+      cur[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] =
+          dag.add_vertex({cur[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)],
+                          cur[static_cast<std::size_t>(k)][static_cast<std::size_t>(k)]});
+    }
+    for (int i = k + 1; i < n; ++i)
+      for (int j = k + 1; j < n; ++j)
+        // S2: A(i,j) <- A(i,j) - A(i,k) * A(k,j)
+        cur[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            dag.add_vertex(
+                {cur[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                 cur[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)],
+                 cur[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)]});
+  }
+  built.final_vertex = std::move(cur);
+  return built;
+}
+
+BuiltDag mmm_cdag(int n) {
+  CONFLUX_EXPECTS(n >= 1);
+  BuiltDag built;
+  auto& dag = built.dag;
+  std::vector<std::vector<int>> a(static_cast<std::size_t>(n),
+                                  std::vector<int>(static_cast<std::size_t>(n)));
+  auto b = a;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = dag.add_vertex({});
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) b[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = dag.add_vertex({});
+
+  built.final_vertex.assign(static_cast<std::size_t>(n),
+                            std::vector<int>(static_cast<std::size_t>(n), -1));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      int acc = -1;
+      for (int k = 0; k < n; ++k) {
+        std::vector<int> preds = {a[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)],
+                                  b[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)]};
+        if (acc >= 0) preds.push_back(acc);
+        acc = dag.add_vertex(preds);
+      }
+      built.final_vertex[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = acc;
+    }
+  return built;
+}
+
+BuiltDag elementwise_cdag(int n) {
+  CONFLUX_EXPECTS(n >= 1);
+  BuiltDag built;
+  auto& dag = built.dag;
+  std::vector<int> b(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) b[static_cast<std::size_t>(j)] = dag.add_vertex({});
+  built.final_vertex.assign(static_cast<std::size_t>(n),
+                            std::vector<int>(static_cast<std::size_t>(n), -1));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      const int aij = dag.add_vertex({});
+      built.final_vertex[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          dag.add_vertex({aij, b[static_cast<std::size_t>(j)]});
+    }
+  return built;
+}
+
+BuiltDag inner_product_cdag(int n) {
+  CONFLUX_EXPECTS(n >= 1);
+  BuiltDag built;
+  auto& dag = built.dag;
+  int acc = -1;
+  for (int i = 0; i < n; ++i) {
+    const int ai = dag.add_vertex({});
+    const int bi = dag.add_vertex({});
+    std::vector<int> preds = {ai, bi};
+    if (acc >= 0) preds.push_back(acc);
+    acc = dag.add_vertex(preds);
+  }
+  built.final_vertex = {{acc}};
+  return built;
+}
+
+}  // namespace conflux::pebble

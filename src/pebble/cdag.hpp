@@ -1,0 +1,94 @@
+/// \file cdag.hpp
+/// Computational DAGs for the red-blue pebble game (§2.3). Vertices are
+/// versions of array elements (Figure 1's "elements vs vertices"
+/// distinction); builders below construct the explicit cDAGs of the paper's
+/// running examples for small, testable sizes.
+#pragma once
+
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace conflux::pebble {
+
+/// A DAG with explicit predecessor/successor lists. Vertices are dense ids.
+class CDag {
+ public:
+  /// Add a vertex with the given predecessors; returns its id.
+  int add_vertex(const std::vector<int>& preds) {
+    const int id = static_cast<int>(preds_.size());
+    for (int p : preds) {
+      CONFLUX_EXPECTS(p >= 0 && p < id);
+      succs_[static_cast<std::size_t>(p)].push_back(id);
+    }
+    preds_.push_back(preds);
+    succs_.emplace_back();
+    return id;
+  }
+
+  [[nodiscard]] int size() const { return static_cast<int>(preds_.size()); }
+
+  [[nodiscard]] const std::vector<int>& preds(int v) const {
+    return preds_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] const std::vector<int>& succs(int v) const {
+    return succs_[static_cast<std::size_t>(v)];
+  }
+
+  /// Vertices with no predecessors (the graph inputs, initially blue).
+  [[nodiscard]] std::vector<int> inputs() const {
+    std::vector<int> out;
+    for (int v = 0; v < size(); ++v)
+      if (preds(v).empty()) out.push_back(v);
+    return out;
+  }
+  /// Vertices with no successors (the outputs; the game must turn them blue).
+  [[nodiscard]] std::vector<int> outputs() const {
+    std::vector<int> out;
+    for (int v = 0; v < size(); ++v)
+      if (succs(v).empty()) out.push_back(v);
+    return out;
+  }
+
+  [[nodiscard]] bool is_input(int v) const { return preds(v).empty(); }
+  [[nodiscard]] bool is_output(int v) const { return succs(v).empty(); }
+
+  /// Number of non-input (compute) vertices.
+  [[nodiscard]] int compute_count() const {
+    int n = 0;
+    for (int v = 0; v < size(); ++v)
+      if (!is_input(v)) ++n;
+    return n;
+  }
+
+ private:
+  std::vector<std::vector<int>> preds_;
+  std::vector<std::vector<int>> succs_;
+};
+
+/// Builders -----------------------------------------------------------------
+
+/// Result of a builder: the dag plus a map from (element, version-ish) to
+/// vertex id where useful for assertions.
+struct BuiltDag {
+  CDag dag;
+  /// For matrix builders: the final vertex of element (i, j).
+  std::vector<std::vector<int>> final_vertex;
+};
+
+/// The LU cDAG of Figure 1 (in-place, no pivoting) for an n x n matrix:
+///   for k: for i>k: A(i,k) /= A(k,k)           (S1)
+///           for i>k, j>k: A(i,j) -= A(i,k)A(k,j)  (S2)
+[[nodiscard]] BuiltDag lu_cdag(int n);
+
+/// Classic MMM cDAG: C(i,j) accumulates over k (a chain of n multiplies per
+/// output element; A and B vertices have out-degree n).
+[[nodiscard]] BuiltDag mmm_cdag(int n);
+
+/// The out-degree-one example of Figure 2a: C(i,j) = f(A(i,j), b(j)).
+[[nodiscard]] BuiltDag elementwise_cdag(int n);
+
+/// Inner product chain of Figure 2b: c = sum_i a(i)*b(i).
+[[nodiscard]] BuiltDag inner_product_cdag(int n);
+
+}  // namespace conflux::pebble

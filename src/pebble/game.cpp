@@ -1,0 +1,166 @@
+#include "pebble/game.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace conflux::pebble {
+
+RedBluePebbleGame::RedBluePebbleGame(const CDag& dag, int m)
+    : dag_(dag),
+      m_(m),
+      red_(static_cast<std::size_t>(dag.size()), 0),
+      blue_(static_cast<std::size_t>(dag.size()), 0),
+      computed_(static_cast<std::size_t>(dag.size()), 0) {
+  CONFLUX_EXPECTS(m >= 1);
+  for (int v : dag.inputs()) {
+    blue_[static_cast<std::size_t>(v)] = 1;
+    computed_[static_cast<std::size_t>(v)] = 1;  // inputs exist ab initio
+  }
+}
+
+void RedBluePebbleGame::load(int v) {
+  if (!blue_[static_cast<std::size_t>(v)])
+    throw IllegalMove("load: vertex has no blue pebble");
+  if (red_[static_cast<std::size_t>(v)])
+    throw IllegalMove("load: vertex already red");
+  if (reds_ >= m_) throw IllegalMove("load: no free red pebbles");
+  red_[static_cast<std::size_t>(v)] = 1;
+  ++reds_;
+  ++q_;
+  ++loads_;
+}
+
+void RedBluePebbleGame::store(int v) {
+  if (!red_[static_cast<std::size_t>(v)])
+    throw IllegalMove("store: vertex has no red pebble");
+  if (blue_[static_cast<std::size_t>(v)]) return;  // already persisted: no-op
+  blue_[static_cast<std::size_t>(v)] = 1;
+  ++q_;
+  ++stores_;
+}
+
+void RedBluePebbleGame::compute(int v) {
+  if (dag_.is_input(v)) throw IllegalMove("compute: inputs are not computed");
+  if (red_[static_cast<std::size_t>(v)])
+    throw IllegalMove("compute: vertex already red");
+  for (int p : dag_.preds(v))
+    if (!red_[static_cast<std::size_t>(p)]) {
+      std::ostringstream os;
+      os << "compute(" << v << "): predecessor " << p << " not in fast memory";
+      throw IllegalMove(os.str());
+    }
+  if (reds_ >= m_) throw IllegalMove("compute: no free red pebbles");
+  red_[static_cast<std::size_t>(v)] = 1;
+  computed_[static_cast<std::size_t>(v)] = 1;
+  ++reds_;
+}
+
+void RedBluePebbleGame::discard(int v) {
+  if (!red_[static_cast<std::size_t>(v)])
+    throw IllegalMove("discard: vertex has no red pebble");
+  red_[static_cast<std::size_t>(v)] = 0;
+  --reds_;
+}
+
+bool RedBluePebbleGame::complete() const {
+  for (int v = 0; v < dag_.size(); ++v)
+    if (dag_.is_output(v) && !blue_[static_cast<std::size_t>(v)]) return false;
+  return true;
+}
+
+std::vector<int> natural_order(const CDag& dag) {
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(dag.compute_count()));
+  for (int v = 0; v < dag.size(); ++v)
+    if (!dag.is_input(v)) order.push_back(v);
+  return order;
+}
+
+RedBluePebbleGame execute_schedule(const CDag& dag, int m,
+                                   const std::vector<int>& order,
+                                   Eviction policy) {
+  RedBluePebbleGame game(dag, m);
+
+  // Position of each vertex use in the schedule, for Belady and liveness.
+  // use_times[v] = ascending positions at which v is a predecessor.
+  std::vector<std::vector<int>> use_times(static_cast<std::size_t>(dag.size()));
+  for (std::size_t pos = 0; pos < order.size(); ++pos)
+    for (int p : dag.preds(order[pos]))
+      use_times[static_cast<std::size_t>(p)].push_back(static_cast<int>(pos));
+  std::vector<std::size_t> next_use_idx(static_cast<std::size_t>(dag.size()), 0);
+
+  auto next_use = [&](int v, int now) {
+    auto& uses = use_times[static_cast<std::size_t>(v)];
+    auto& idx = next_use_idx[static_cast<std::size_t>(v)];
+    while (idx < uses.size() && uses[idx] < now) ++idx;
+    return idx < uses.size() ? uses[idx] : std::numeric_limits<int>::max();
+  };
+
+  std::vector<int> resident;  // vertices currently red, LRU order (front=old)
+  auto touch = [&](int v) {
+    const auto it = std::find(resident.begin(), resident.end(), v);
+    if (it != resident.end()) resident.erase(it);
+    resident.push_back(v);
+  };
+
+  auto evict_one = [&](int now, int protect_after) {
+    // Pick a victim among residents not used at the current position.
+    int victim = -1;
+    if (policy == Eviction::Lru) {
+      for (int v : resident) {
+        if (next_use(v, now) == now) continue;  // needed right now
+        victim = v;
+        break;
+      }
+    } else {
+      int furthest = -1;
+      for (int v : resident) {
+        const int use = next_use(v, now);
+        if (use == now) continue;
+        if (use > furthest) {
+          furthest = use;
+          victim = v;
+        }
+      }
+    }
+    CONFLUX_ASSERT(victim >= 0);
+    (void)protect_after;
+    // Persist the victim if it is still needed later (or is an output) and
+    // has no blue copy yet.
+    const bool needed_later =
+        next_use(victim, now) != std::numeric_limits<int>::max() ||
+        dag.is_output(victim);
+    if (needed_later && !game.blue(victim)) game.store(victim);
+    game.discard(victim);
+    resident.erase(std::find(resident.begin(), resident.end(), victim));
+  };
+
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const int v = order[static_cast<std::size_t>(pos)];
+    const int now = static_cast<int>(pos);
+    // Bring predecessors in.
+    for (int p : dag.preds(v)) {
+      if (game.red(p)) {
+        touch(p);
+        continue;
+      }
+      CONFLUX_ASSERT(game.blue(p));  // topological order guarantees this
+      while (game.reds_in_use() >= m) evict_one(now, -1);
+      game.load(p);
+      touch(p);
+    }
+    while (game.reds_in_use() >= m) evict_one(now, -1);
+    game.compute(v);
+    touch(v);
+  }
+  // Persist outputs still in fast memory.
+  for (int v = 0; v < dag.size(); ++v)
+    if (dag.is_output(v) && game.red(v) && !game.blue(v)) game.store(v);
+  CONFLUX_ENSURES(game.complete());
+  return game;
+}
+
+}  // namespace conflux::pebble

@@ -1,0 +1,80 @@
+/// \file game.hpp
+/// The red-blue pebble game of Hong & Kung (§2.3.1) with strict rule
+/// enforcement, plus an automatic executor that plays a given compute order
+/// under an eviction policy and counts the I/O operations Q.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "pebble/cdag.hpp"
+
+namespace conflux::pebble {
+
+/// Thrown on an illegal pebbling move.
+class IllegalMove : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Game state: red pebbles (fast memory, at most M), blue pebbles (slow
+/// memory, unlimited). Inputs start blue; the game ends when all outputs
+/// are blue. Q counts loads + stores.
+class RedBluePebbleGame {
+ public:
+  RedBluePebbleGame(const CDag& dag, int m);
+
+  /// Rule 1: place a red pebble on a blue vertex.
+  void load(int v);
+  /// Rule 2: place a blue pebble on a red vertex.
+  void store(int v);
+  /// Rule 3: place a red pebble on a vertex whose predecessors are all red.
+  void compute(int v);
+  /// Rule 4: remove the red pebble from a vertex.
+  void discard(int v);
+
+  [[nodiscard]] bool red(int v) const { return red_[static_cast<std::size_t>(v)]; }
+  [[nodiscard]] bool blue(int v) const { return blue_[static_cast<std::size_t>(v)]; }
+  [[nodiscard]] bool computed(int v) const {
+    return computed_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] int reds_in_use() const { return reds_; }
+  [[nodiscard]] int memory() const { return m_; }
+  [[nodiscard]] std::uint64_t io_count() const { return q_; }
+  [[nodiscard]] std::uint64_t loads() const { return loads_; }
+  [[nodiscard]] std::uint64_t stores() const { return stores_; }
+
+  /// All outputs blue?
+  [[nodiscard]] bool complete() const;
+
+  [[nodiscard]] const CDag& dag() const { return dag_; }
+
+ private:
+  const CDag& dag_;
+  int m_;
+  int reds_ = 0;
+  std::uint64_t q_ = 0, loads_ = 0, stores_ = 0;
+  std::vector<std::uint8_t> red_, blue_, computed_;
+};
+
+/// Eviction policies for the executor.
+enum class Eviction {
+  Lru,     ///< least-recently-used
+  Belady,  ///< furthest-next-use in the given compute order (offline optimal
+           ///< heuristic for this order)
+};
+
+/// Play the game by computing vertices in `order` (must be a topological
+/// order of the non-input vertices). Loads predecessors on demand, evicts
+/// per policy (storing a victim first whenever it is still needed and not
+/// blue), stores outputs at the end. Returns the completed game.
+[[nodiscard]] RedBluePebbleGame execute_schedule(const CDag& dag, int m,
+                                                 const std::vector<int>& order,
+                                                 Eviction policy);
+
+/// Natural (construction) topological order of all non-input vertices.
+[[nodiscard]] std::vector<int> natural_order(const CDag& dag);
+
+}  // namespace conflux::pebble

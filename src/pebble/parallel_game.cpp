@@ -1,0 +1,85 @@
+#include "pebble/parallel_game.hpp"
+
+namespace conflux::pebble {
+
+ParallelPebbleGame::ParallelPebbleGame(const CDag& dag, int processors, int m)
+    : dag_(dag),
+      m_(m),
+      red_(static_cast<std::size_t>(processors),
+           std::vector<std::uint8_t>(static_cast<std::size_t>(dag.size()), 0)),
+      reds_(static_cast<std::size_t>(processors), 0),
+      blue_(static_cast<std::size_t>(dag.size()), 0),
+      computed_(static_cast<std::size_t>(dag.size()), 0),
+      q_(static_cast<std::size_t>(processors), 0) {
+  CONFLUX_EXPECTS(processors >= 1 && m >= 1);
+  for (int v : dag.inputs()) {
+    blue_[static_cast<std::size_t>(v)] = 1;
+    computed_[static_cast<std::size_t>(v)] = 1;
+  }
+}
+
+bool ParallelPebbleGame::any_pebble(int v) const {
+  if (blue_[static_cast<std::size_t>(v)]) return true;
+  for (const auto& hue : red_)
+    if (hue[static_cast<std::size_t>(v)]) return true;
+  return false;
+}
+
+void ParallelPebbleGame::load(int p, int v) {
+  auto& mine = red_[static_cast<std::size_t>(p)];
+  if (mine[static_cast<std::size_t>(v)])
+    throw IllegalMove("parallel load: already red in this hue");
+  if (!any_pebble(v))
+    throw IllegalMove("parallel load: vertex carries no pebble");
+  if (reds_[static_cast<std::size_t>(p)] >= m_)
+    throw IllegalMove("parallel load: no free red pebbles");
+  mine[static_cast<std::size_t>(v)] = 1;
+  ++reds_[static_cast<std::size_t>(p)];
+  ++q_[static_cast<std::size_t>(p)];
+}
+
+void ParallelPebbleGame::store(int p, int v) {
+  if (!red_[static_cast<std::size_t>(p)][static_cast<std::size_t>(v)])
+    throw IllegalMove("parallel store: not red in this hue");
+  if (blue_[static_cast<std::size_t>(v)]) return;
+  blue_[static_cast<std::size_t>(v)] = 1;
+  ++q_[static_cast<std::size_t>(p)];
+}
+
+void ParallelPebbleGame::compute(int p, int v) {
+  if (dag_.is_input(v))
+    throw IllegalMove("parallel compute: inputs are not computed");
+  auto& mine = red_[static_cast<std::size_t>(p)];
+  if (mine[static_cast<std::size_t>(v)])
+    throw IllegalMove("parallel compute: already red in this hue");
+  for (int pred : dag_.preds(v))
+    if (!mine[static_cast<std::size_t>(pred)])
+      throw IllegalMove("parallel compute: predecessor not red in this hue");
+  if (reds_[static_cast<std::size_t>(p)] >= m_)
+    throw IllegalMove("parallel compute: no free red pebbles");
+  mine[static_cast<std::size_t>(v)] = 1;
+  computed_[static_cast<std::size_t>(v)] = 1;
+  ++reds_[static_cast<std::size_t>(p)];
+}
+
+void ParallelPebbleGame::discard(int p, int v) {
+  auto& mine = red_[static_cast<std::size_t>(p)];
+  if (!mine[static_cast<std::size_t>(v)])
+    throw IllegalMove("parallel discard: not red in this hue");
+  mine[static_cast<std::size_t>(v)] = 0;
+  --reds_[static_cast<std::size_t>(p)];
+}
+
+std::uint64_t ParallelPebbleGame::total_io() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t q : q_) total += q;
+  return total;
+}
+
+bool ParallelPebbleGame::complete() const {
+  for (int v = 0; v < dag_.size(); ++v)
+    if (dag_.is_output(v) && !blue_[static_cast<std::size_t>(v)]) return false;
+  return true;
+}
+
+}  // namespace conflux::pebble

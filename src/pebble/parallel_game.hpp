@@ -1,0 +1,53 @@
+/// \file parallel_game.hpp
+/// The parallel red-blue pebble game of §5: P processors with M red pebbles
+/// each ("hues"). Compute requires all predecessors red in the processor's
+/// own hue; a load may copy from ANY pebble (red of another hue or blue) at
+/// uniform cost — the paper's uniform remote-access model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pebble/game.hpp"
+
+namespace conflux::pebble {
+
+class ParallelPebbleGame {
+ public:
+  ParallelPebbleGame(const CDag& dag, int processors, int m);
+
+  /// Load: place a red pebble of processor p's hue on v, which must carry
+  /// any pebble (blue or any hue's red). Counts one I/O for p.
+  void load(int p, int v);
+  /// Store: blue-pebble a vertex that is red in p's hue. Counts one I/O.
+  void store(int p, int v);
+  /// Compute v on processor p (all predecessors red in p's hue).
+  void compute(int p, int v);
+  /// Remove p's red pebble.
+  void discard(int p, int v);
+
+  [[nodiscard]] bool red(int p, int v) const {
+    return red_[static_cast<std::size_t>(p)][static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] bool blue(int v) const {
+    return blue_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] bool any_pebble(int v) const;
+
+  [[nodiscard]] std::uint64_t io_count(int p) const {
+    return q_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] std::uint64_t total_io() const;
+  [[nodiscard]] bool complete() const;
+  [[nodiscard]] int processors() const { return static_cast<int>(red_.size()); }
+
+ private:
+  const CDag& dag_;
+  int m_;
+  std::vector<std::vector<std::uint8_t>> red_;  ///< [processor][vertex]
+  std::vector<int> reds_;
+  std::vector<std::uint8_t> blue_, computed_;
+  std::vector<std::uint64_t> q_;
+};
+
+}  // namespace conflux::pebble

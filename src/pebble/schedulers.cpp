@@ -1,0 +1,46 @@
+#include "pebble/schedulers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace conflux::pebble {
+
+namespace {
+/// Compute-vertex id of the k-th partial product of C(i,j) in mmm_cdag(n):
+/// inputs occupy [0, 2n^2), then products in (i, j, k) construction order.
+int mmm_vertex(int n, int i, int j, int k) {
+  return 2 * n * n + (i * n + j) * n + k;
+}
+}  // namespace
+
+std::vector<int> tiled_mmm_order(int n, int b) {
+  CONFLUX_EXPECTS(n >= 1 && b >= 1);
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n) * n * n);
+  // k-tiles outermost so each (i, j) accumulator chain advances across tile
+  // rounds in ascending k (a valid topological order); within a (kt, it, jt)
+  // tile the b x b x b block is walked i, j, k.
+  for (int kt = 0; kt < n; kt += b)
+    for (int it = 0; it < n; it += b)
+      for (int jt = 0; jt < n; jt += b)
+        for (int i = it; i < std::min(it + b, n); ++i)
+          for (int j = jt; j < std::min(jt + b, n); ++j)
+            for (int k = kt; k < std::min(kt + b, n); ++k)
+              order.push_back(mmm_vertex(n, i, j, k));
+  return order;
+}
+
+std::vector<int> rowmajor_mmm_order(int n) {
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n) * n * n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int k = 0; k < n; ++k) order.push_back(mmm_vertex(n, i, j, k));
+  return order;
+}
+
+int mmm_tile_for_memory(int m) {
+  return std::max(1, static_cast<int>(std::floor(std::sqrt(m / 3.0))));
+}
+
+}  // namespace conflux::pebble

@@ -1,0 +1,26 @@
+/// \file schedulers.hpp
+/// Compute orders for the pebble-game executor. The tiled MMM order is the
+/// X-partition-informed schedule whose I/O matches the 2N^3/sqrt(M) bound
+/// within a small constant; the row-major orders are the cache-oblivious
+/// baselines the bounds separate from.
+#pragma once
+
+#include <vector>
+
+#include "pebble/cdag.hpp"
+
+namespace conflux::pebble {
+
+/// Tiled i/j/k order for mmm_cdag(n): tiles of side b, k-tiles innermost of
+/// the tile loops so accumulator chains stay resident. Returns compute-
+/// vertex ids in execution order.
+[[nodiscard]] std::vector<int> tiled_mmm_order(int n, int b);
+
+/// Row-major (i, j, k) order for mmm_cdag(n).
+[[nodiscard]] std::vector<int> rowmajor_mmm_order(int n);
+
+/// Pick the tile size matching the X-partition optimum for memory m:
+/// b = floor(sqrt(m / 3)) (three b x b operands resident), at least 1.
+[[nodiscard]] int mmm_tile_for_memory(int m);
+
+}  // namespace conflux::pebble

@@ -1,0 +1,160 @@
+#include "pebble/xpartition.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace conflux::pebble {
+
+namespace {
+std::vector<std::uint8_t> member_mask(const CDag& dag,
+                                      const std::vector<int>& vs) {
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(dag.size()), 0);
+  for (int v : vs) {
+    CONFLUX_EXPECTS(v >= 0 && v < dag.size());
+    mask[static_cast<std::size_t>(v)] = 1;
+  }
+  return mask;
+}
+}  // namespace
+
+std::vector<int> min_set(const CDag& dag, const std::vector<int>& vh) {
+  const auto in_vh = member_mask(dag, vh);
+  std::vector<int> out;
+  for (int v : vh) {
+    bool has_inner_succ = false;
+    for (int s : dag.succs(v))
+      if (in_vh[static_cast<std::size_t>(s)]) {
+        has_inner_succ = true;
+        break;
+      }
+    if (!has_inner_succ) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<int> boundary_dominator(const CDag& dag,
+                                    const std::vector<int>& vh) {
+  const auto in_vh = member_mask(dag, vh);
+  std::set<int> dom;
+  for (int v : vh) {
+    if (dag.is_input(v)) {
+      dom.insert(v);
+      continue;
+    }
+    for (int p : dag.preds(v))
+      if (!in_vh[static_cast<std::size_t>(p)]) dom.insert(p);
+  }
+  return {dom.begin(), dom.end()};
+}
+
+bool is_dominator(const CDag& dag, const std::vector<int>& vh,
+                  const std::vector<int>& dom) {
+  const auto in_vh = member_mask(dag, vh);
+  const auto in_dom = member_mask(dag, dom);
+  // BFS from the inputs; dominator vertices block expansion. If we can
+  // touch a v_h vertex that is not itself in dom, some path sneaks in.
+  std::deque<int> queue;
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(dag.size()), 0);
+  for (int v : dag.inputs()) {
+    if (in_dom[static_cast<std::size_t>(v)]) continue;
+    if (in_vh[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = 1;
+    queue.push_back(v);
+  }
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop_front();
+    for (int s : dag.succs(v)) {
+      if (seen[static_cast<std::size_t>(s)]) continue;
+      if (in_dom[static_cast<std::size_t>(s)]) continue;  // blocked
+      if (in_vh[static_cast<std::size_t>(s)]) return false;
+      seen[static_cast<std::size_t>(s)] = 1;
+      queue.push_back(s);
+    }
+  }
+  return true;
+}
+
+XPartitionCheck validate_xpartition(
+    const CDag& dag, const std::vector<std::vector<int>>& parts, int x) {
+  XPartitionCheck check;
+
+  std::vector<int> owner(static_cast<std::size_t>(dag.size()), -1);
+  bool disjoint = true;
+  for (std::size_t h = 0; h < parts.size(); ++h)
+    for (int v : parts[h]) {
+      if (owner[static_cast<std::size_t>(v)] != -1) disjoint = false;
+      owner[static_cast<std::size_t>(v)] = static_cast<int>(h);
+    }
+  check.disjoint = disjoint;
+
+  bool covers = true;
+  for (int v = 0; v < dag.size(); ++v)
+    if (!dag.is_input(v) && owner[static_cast<std::size_t>(v)] < 0)
+      covers = false;
+  check.covers_all = covers;
+
+  // Acyclicity of the contracted graph (Kahn's algorithm).
+  const int s = static_cast<int>(parts.size());
+  std::vector<std::set<int>> edges(static_cast<std::size_t>(s));
+  for (int v = 0; v < dag.size(); ++v) {
+    const int a = owner[static_cast<std::size_t>(v)];
+    if (a < 0) continue;
+    for (int t : dag.succs(v)) {
+      const int b = owner[static_cast<std::size_t>(t)];
+      if (b >= 0 && b != a) edges[static_cast<std::size_t>(a)].insert(b);
+    }
+  }
+  std::vector<int> indeg(static_cast<std::size_t>(s), 0);
+  for (int a = 0; a < s; ++a)
+    for (int b : edges[static_cast<std::size_t>(a)])
+      ++indeg[static_cast<std::size_t>(b)];
+  std::deque<int> ready;
+  for (int a = 0; a < s; ++a)
+    if (indeg[static_cast<std::size_t>(a)] == 0) ready.push_back(a);
+  int visited = 0;
+  while (!ready.empty()) {
+    const int a = ready.front();
+    ready.pop_front();
+    ++visited;
+    for (int b : edges[static_cast<std::size_t>(a)])
+      if (--indeg[static_cast<std::size_t>(b)] == 0) ready.push_back(b);
+  }
+  check.acyclic = (visited == s);
+
+  bool within = true;
+  for (const auto& part : parts) {
+    if (static_cast<int>(boundary_dominator(dag, part).size()) > x ||
+        static_cast<int>(min_set(dag, part).size()) > x)
+      within = false;
+  }
+  check.within_x = within;
+  return check;
+}
+
+std::vector<std::vector<int>> partition_from_order(const CDag& dag,
+                                                   const std::vector<int>& order,
+                                                   int x, int m) {
+  CONFLUX_EXPECTS(x > m && m >= 1);
+  std::vector<std::vector<int>> parts;
+  std::vector<int> current;
+  std::set<int> touched;  // distinct non-member sources touched by this part
+  for (int v : order) {
+    std::set<int> would = touched;
+    for (int p : dag.preds(v)) would.insert(p);
+    if (static_cast<int>(would.size()) > x - m && !current.empty()) {
+      parts.push_back(current);
+      current.clear();
+      touched.clear();
+      for (int p : dag.preds(v)) touched.insert(p);
+    } else {
+      touched = std::move(would);
+    }
+    current.push_back(v);
+  }
+  if (!current.empty()) parts.push_back(current);
+  return parts;
+}
+
+}  // namespace conflux::pebble

@@ -1,0 +1,50 @@
+/// \file xpartition.hpp
+/// Dominator-set and minimum-set utilities plus X-partition validation
+/// (§2.3.2-§2.3.3). Finding a *minimum* dominator set is NP-hard in
+/// general; this module provides the boundary dominator (always valid, used
+/// as an upper bound) and an exact validity check for candidate sets.
+#pragma once
+
+#include <vector>
+
+#include "pebble/cdag.hpp"
+
+namespace conflux::pebble {
+
+/// Min(V_h): vertices of v_h with no immediate successor inside v_h.
+[[nodiscard]] std::vector<int> min_set(const CDag& dag,
+                                       const std::vector<int>& vh);
+
+/// The boundary dominator of v_h: sources of edges entering v_h from
+/// outside, plus graph inputs inside v_h. Always a valid dominator set, so
+/// |Dom_min(V_h)| <= boundary size.
+[[nodiscard]] std::vector<int> boundary_dominator(const CDag& dag,
+                                                  const std::vector<int>& vh);
+
+/// Exact check: does every path from a graph input into v_h pass through
+/// `dom`?
+[[nodiscard]] bool is_dominator(const CDag& dag, const std::vector<int>& vh,
+                                const std::vector<int>& dom);
+
+/// X-partition validity per §2.3.3 (using boundary dominators as the
+/// conservative bound for the size conditions).
+struct XPartitionCheck {
+  bool covers_all = false;   ///< every non-input vertex in exactly one part
+  bool disjoint = false;     ///< parts do not overlap
+  bool acyclic = false;      ///< no cyclic dependencies between parts
+  bool within_x = false;     ///< |Dom| <= X and |Min| <= X for every part
+  [[nodiscard]] bool valid() const {
+    return covers_all && disjoint && acyclic && within_x;
+  }
+};
+
+[[nodiscard]] XPartitionCheck validate_xpartition(
+    const CDag& dag, const std::vector<std::vector<int>>& parts, int x);
+
+/// The schedule-derived X-partition of Lemma 2 in [42]: cut an executed
+/// compute order into consecutive segments, each loading at most x - m new
+/// vertices. Returns the parts (used to cross-check |P| <= (Q+X-M)/(X-M)).
+[[nodiscard]] std::vector<std::vector<int>> partition_from_order(
+    const CDag& dag, const std::vector<int>& order, int x, int m);
+
+}  // namespace conflux::pebble

@@ -1,0 +1,282 @@
+#include "simnet/collectives.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace conflux::simnet {
+
+namespace {
+
+/// Sub-tag composition for internal rounds: shift the user tag and add the
+/// round/sub-operation id.
+[[nodiscard]] constexpr Tag sub_tag(Tag tag, unsigned op, unsigned round) {
+  return (tag << 8) | (static_cast<Tag>(op) << 5) | round;
+}
+
+/// Virtual rank relative to the root so binomial trees can be rooted
+/// anywhere.
+[[nodiscard]] int vrank_of(int index, int root_index, int n) {
+  return (index - root_index + n) % n;
+}
+[[nodiscard]] int real_of(int vrank, int root_index, const Group& g) {
+  return g.ranks[static_cast<std::size_t>((vrank + root_index) % g.size())];
+}
+
+}  // namespace
+
+Group Group::iota(int n) {
+  Group g;
+  g.ranks.resize(static_cast<std::size_t>(n));
+  std::iota(g.ranks.begin(), g.ranks.end(), 0);
+  return g;
+}
+
+void bcast(const Comm& comm, const Group& group, int root_index,
+           std::vector<double>& data, Tag tag) {
+  const int n = group.size();
+  const int me = group.index_of(comm.rank());
+  CONFLUX_EXPECTS(me >= 0 && root_index >= 0 && root_index < n);
+  const int v = vrank_of(me, root_index, n);
+
+  // Binomial tree: in round r, ranks with vrank < 2^r forward to vrank+2^r.
+  unsigned round = 0;
+  int mask = 1;
+  while (mask < n) mask <<= 1;
+  // Receive first (non-root): find the highest bit of v.
+  if (v != 0) {
+    int bit = 1;
+    while (bit * 2 <= v) bit <<= 1;
+    // parent = v - bit; round index = log2(bit)
+    unsigned r = 0;
+    for (int b = bit; b > 1; b >>= 1) ++r;
+    data = comm.recv(real_of(v - bit, root_index, group), sub_tag(tag, 0, r));
+    round = r + 1;
+    mask = bit << 1;
+  } else {
+    mask = 1;
+  }
+  for (; mask < n; mask <<= 1, ++round) {
+    if (v < mask && v + mask < n)
+      comm.send(real_of(v + mask, root_index, group), sub_tag(tag, 0, round),
+                std::span<const double>(data));
+  }
+}
+
+std::size_t bcast_ghost(const Comm& comm, const Group& group, int root_index,
+                        std::size_t logical_bytes, Tag tag) {
+  const int n = group.size();
+  const int me = group.index_of(comm.rank());
+  CONFLUX_EXPECTS(me >= 0 && root_index >= 0 && root_index < n);
+  const int v = vrank_of(me, root_index, n);
+
+  std::size_t count = logical_bytes;
+  int mask = 1;
+  unsigned round = 0;
+  if (v != 0) {
+    int bit = 1;
+    while (bit * 2 <= v) bit <<= 1;
+    unsigned r = 0;
+    for (int b = bit; b > 1; b >>= 1) ++r;
+    count = comm.recv_ghost(real_of(v - bit, root_index, group),
+                            sub_tag(tag, 0, r));
+    round = r + 1;
+    mask = bit << 1;
+  }
+  for (; mask < n; mask <<= 1, ++round) {
+    if (v < mask && v + mask < n)
+      comm.send_ghost(real_of(v + mask, root_index, group),
+                      sub_tag(tag, 0, round), count);
+  }
+  return count;
+}
+
+void bcast_ints(const Comm& comm, const Group& group, int root_index,
+                std::vector<int>& data, Tag tag) {
+  // Reuse the double-payload tree; account 4 B per element by sending via
+  // send_ints-compatible encoding. For simplicity we transport as doubles
+  // and adjust: volume-accurate variant packs 2 ints per double slot.
+  std::vector<double> packed;
+  const int n = group.size();
+  const int me = group.index_of(comm.rank());
+  CONFLUX_EXPECTS(me >= 0);
+  const int v = vrank_of(me, root_index, n);
+
+  int mask = 1;
+  unsigned round = 0;
+  if (v != 0) {
+    int bit = 1;
+    while (bit * 2 <= v) bit <<= 1;
+    unsigned r = 0;
+    for (int b = bit; b > 1; b >>= 1) ++r;
+    data = comm.recv_ints(real_of(v - bit, root_index, group),
+                          sub_tag(tag, 1, r));
+    round = r + 1;
+    mask = bit << 1;
+  }
+  for (; mask < n; mask <<= 1, ++round) {
+    if (v < mask && v + mask < n)
+      comm.send_ints(real_of(v + mask, root_index, group),
+                     sub_tag(tag, 1, round), std::span<const int>(data));
+  }
+}
+
+void reduce_sum(const Comm& comm, const Group& group, int root_index,
+                std::span<double> inout, Tag tag) {
+  const int n = group.size();
+  const int me = group.index_of(comm.rank());
+  CONFLUX_EXPECTS(me >= 0 && root_index >= 0 && root_index < n);
+  const int v = vrank_of(me, root_index, n);
+
+  unsigned round = 0;
+  for (int mask = 1; mask < n; mask <<= 1, ++round) {
+    if ((v & mask) != 0) {
+      comm.send(real_of(v - mask, root_index, group), sub_tag(tag, 2, round),
+                std::span<const double>(inout.data(), inout.size()));
+      return;  // leaf for the remaining rounds
+    }
+    if (v + mask < n) {
+      const std::vector<double> other =
+          comm.recv(real_of(v + mask, root_index, group), sub_tag(tag, 2, round));
+      CONFLUX_ASSERT(other.size() == inout.size());
+      for (std::size_t i = 0; i < inout.size(); ++i) inout[i] += other[i];
+    }
+  }
+}
+
+void reduce_ghost(const Comm& comm, const Group& group, int root_index,
+                  std::size_t logical_bytes, Tag tag) {
+  const int n = group.size();
+  const int me = group.index_of(comm.rank());
+  CONFLUX_EXPECTS(me >= 0 && root_index >= 0 && root_index < n);
+  const int v = vrank_of(me, root_index, n);
+
+  unsigned round = 0;
+  for (int mask = 1; mask < n; mask <<= 1, ++round) {
+    if ((v & mask) != 0) {
+      comm.send_ghost(real_of(v - mask, root_index, group),
+                      sub_tag(tag, 2, round), logical_bytes);
+      return;
+    }
+    if (v + mask < n)
+      (void)comm.recv_ghost(real_of(v + mask, root_index, group),
+                            sub_tag(tag, 2, round));
+  }
+}
+
+void allreduce_sum(const Comm& comm, const Group& group,
+                   std::span<double> inout, Tag tag) {
+  reduce_sum(comm, group, 0, inout, tag);
+  std::vector<double> buf(inout.begin(), inout.end());
+  bcast(comm, group, 0, buf, sub_tag(tag, 3, 0));
+  std::copy(buf.begin(), buf.end(), inout.begin());
+}
+
+MaxLoc allreduce_maxloc(const Comm& comm, const Group& group, MaxLoc mine,
+                        Tag tag) {
+  const int n = group.size();
+  const int me = group.index_of(comm.rank());
+  CONFLUX_EXPECTS(me >= 0);
+  // Tree reduce to index 0 with 12-byte pair messages, then broadcast back.
+  auto encode = [](MaxLoc m) {
+    return std::vector<double>{m.value, static_cast<double>(m.location)};
+  };
+  auto combine = [](MaxLoc a, MaxLoc b) {
+    if (b.value > a.value ||
+        (b.value == a.value && b.location >= 0 &&
+         (a.location < 0 || b.location < a.location)))
+      return b;
+    return a;
+  };
+
+  unsigned round = 0;
+  bool leaf = false;
+  for (int mask = 1; mask < n && !leaf; mask <<= 1, ++round) {
+    if ((me & mask) != 0) {
+      Message msg;
+      msg.payload = encode(mine);
+      msg.logical_bytes = sizeof(double) + sizeof(int);
+      comm.network().deliver(comm.rank(),
+                             group.ranks[static_cast<std::size_t>(me - mask)],
+                             sub_tag(tag, 4, round), std::move(msg));
+      leaf = true;
+    } else if (me + mask < n) {
+      const std::vector<double> other =
+          comm.recv(group.ranks[static_cast<std::size_t>(me + mask)],
+                    sub_tag(tag, 4, round));
+      mine = combine(mine, {other[0], static_cast<int>(other[1])});
+    }
+  }
+  // Broadcast the winner.
+  std::vector<double> buf = encode(mine);
+  // 12 logical bytes per hop: emulate by ghost accounting plus payload relay.
+  const int root_index = 0;
+  const int v = me;
+  unsigned r2 = 0;
+  int mask = 1;
+  if (v != 0) {
+    int bit = 1;
+    while (bit * 2 <= v) bit <<= 1;
+    unsigned r = 0;
+    for (int b = bit; b > 1; b >>= 1) ++r;
+    buf = comm.recv(group.ranks[static_cast<std::size_t>(v - bit)],
+                    sub_tag(tag, 5, r));
+    r2 = r + 1;
+    mask = bit << 1;
+  }
+  for (; mask < n; mask <<= 1, ++r2) {
+    if (v < mask && v + mask < n) {
+      Message msg;
+      msg.payload = buf;
+      msg.logical_bytes = sizeof(double) + sizeof(int);
+      comm.network().deliver(comm.rank(),
+                             group.ranks[static_cast<std::size_t>(v + mask)],
+                             sub_tag(tag, 5, r2), std::move(msg));
+    }
+  }
+  (void)root_index;
+  return {buf[0], static_cast<int>(buf[1])};
+}
+
+std::vector<std::vector<double>> gather(const Comm& comm, const Group& group,
+                                        int root_index,
+                                        std::span<const double> mine,
+                                        Tag tag) {
+  const int n = group.size();
+  const int me = group.index_of(comm.rank());
+  CONFLUX_EXPECTS(me >= 0 && root_index >= 0 && root_index < n);
+  std::vector<std::vector<double>> parts;
+  if (me == root_index) {
+    parts.resize(static_cast<std::size_t>(n));
+    parts[static_cast<std::size_t>(me)].assign(mine.begin(), mine.end());
+    for (int i = 0; i < n; ++i) {
+      if (i == root_index) continue;
+      parts[static_cast<std::size_t>(i)] =
+          comm.recv(group.ranks[static_cast<std::size_t>(i)], sub_tag(tag, 6, 0));
+    }
+  } else {
+    comm.send(group.ranks[static_cast<std::size_t>(root_index)],
+              sub_tag(tag, 6, 0), mine);
+  }
+  return parts;
+}
+
+void barrier(const Comm& comm, const Group& group, Tag tag) {
+  const int n = group.size();
+  const int me = group.index_of(comm.rank());
+  CONFLUX_EXPECTS(me >= 0);
+  // Dissemination barrier: ceil(log2 n) rounds of zero-byte messages.
+  unsigned round = 0;
+  for (int dist = 1; dist < n; dist <<= 1, ++round) {
+    const int to = (me + dist) % n;
+    const int from = (me - dist % n + n) % n;
+    comm.send_ghost(group.ranks[static_cast<std::size_t>(to)],
+                    sub_tag(tag, 7, round), 0);
+    (void)comm.recv_ghost(group.ranks[static_cast<std::size_t>(from)],
+                          sub_tag(tag, 7, round));
+  }
+}
+
+}  // namespace conflux::simnet

@@ -1,0 +1,83 @@
+/// \file collectives.hpp
+/// Group collectives built from point-to-point messages with the tree shapes
+/// production MPI implementations use (binomial broadcast/reduce,
+/// dissemination barrier). Volumes therefore match what Score-P would count
+/// for the equivalent MPI calls.
+///
+/// Every rank in `group.ranks` must call the collective with the same tag.
+/// Internal rounds derive sub-tags, so a user tag must not be reused for a
+/// different concurrent operation within the same group.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "simnet/comm.hpp"
+
+namespace conflux::simnet {
+
+/// An ordered set of distinct global ranks participating in a collective.
+struct Group {
+  std::vector<int> ranks;
+
+  [[nodiscard]] int size() const { return static_cast<int>(ranks.size()); }
+
+  /// Index of `rank` within the group; -1 when absent.
+  [[nodiscard]] int index_of(int rank) const {
+    for (int i = 0; i < size(); ++i)
+      if (ranks[static_cast<std::size_t>(i)] == rank) return i;
+    return -1;
+  }
+
+  /// The trivial group [0, n).
+  [[nodiscard]] static Group iota(int n);
+};
+
+/// Binomial-tree broadcast of `data` from the group member at `root_index`.
+/// Non-root buffers are overwritten.
+void bcast(const Comm& comm, const Group& group, int root_index,
+           std::vector<double>& data, Tag tag);
+
+/// Ghost broadcast: only a logical byte count (known at the root) travels.
+/// Returns the byte count on every rank.
+std::size_t bcast_ghost(const Comm& comm, const Group& group, int root_index,
+                        std::size_t logical_bytes, Tag tag);
+
+/// Broadcast of int indices (4 B each).
+void bcast_ints(const Comm& comm, const Group& group, int root_index,
+                std::vector<int>& data, Tag tag);
+
+/// Binomial-tree sum-reduction into the member at `root_index` (in place:
+/// on the root, `inout` holds the element-wise total on return; on other
+/// ranks it is consumed).
+void reduce_sum(const Comm& comm, const Group& group, int root_index,
+                std::span<double> inout, Tag tag);
+
+/// Ghost reduction with the same tree shape and byte counts.
+void reduce_ghost(const Comm& comm, const Group& group, int root_index,
+                  std::size_t logical_bytes, Tag tag);
+
+/// reduce_sum followed by bcast (tree allreduce).
+void allreduce_sum(const Comm& comm, const Group& group,
+                   std::span<double> inout, Tag tag);
+
+/// Max-magnitude-and-location allreduce, the pivot-search primitive of
+/// partial pivoting: combines (|value|, global_row) pairs, 12 B on the wire
+/// per message (double + int).
+struct MaxLoc {
+  double value = 0.0;
+  int location = -1;
+};
+MaxLoc allreduce_maxloc(const Comm& comm, const Group& group, MaxLoc mine,
+                        Tag tag);
+
+/// Direct gather of variable-length buffers to `root_index`. Returns, on the
+/// root only, one buffer per group member (in group order); empty elsewhere.
+std::vector<std::vector<double>> gather(const Comm& comm, const Group& group,
+                                        int root_index,
+                                        std::span<const double> mine, Tag tag);
+
+/// Dissemination barrier (zero-byte messages).
+void barrier(const Comm& comm, const Group& group, Tag tag);
+
+}  // namespace conflux::simnet

@@ -1,0 +1,8 @@
+// comm.hpp is header-only; this translation unit exists so the library has a
+// stable archive member for the target and to catch ODR issues early.
+#include "simnet/comm.hpp"
+
+namespace conflux::simnet {
+static_assert(sizeof(Comm) <= 2 * sizeof(void*),
+              "Comm is intended to be a cheap value handle");
+}  // namespace conflux::simnet

@@ -1,0 +1,111 @@
+/// \file comm.hpp
+/// Per-rank communication endpoint: typed point-to-point operations over the
+/// simulated network, in both numeric (real payload) and dry-run ("ghost",
+/// bytes-only) flavours. Byte accounting uses 8 B per double and 4 B per
+/// int index, matching what the MPI datatypes would put on the wire.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "simnet/network.hpp"
+#include "support/assert.hpp"
+
+namespace conflux::simnet {
+
+/// A rank's handle to the fabric. Cheap to copy; all state lives in the
+/// Network it references.
+class Comm {
+ public:
+  Comm(Network& net, int rank) : net_(&net), rank_(rank) {
+    CONFLUX_EXPECTS(rank >= 0 && rank < net.size());
+  }
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return net_->size(); }
+  [[nodiscard]] Network& network() const { return *net_; }
+
+  // --- point-to-point, real payloads -------------------------------------
+
+  /// Send `data` (8 B/element on the wire) to `dst`.
+  void send(int dst, Tag tag, std::span<const double> data) const {
+    Message msg;
+    msg.payload.assign(data.begin(), data.end());
+    msg.logical_bytes = data.size() * sizeof(double);
+    net_->deliver(rank_, dst, tag, std::move(msg));
+  }
+
+  /// Move-send an owned buffer (avoids the copy for large panels).
+  void send(int dst, Tag tag, std::vector<double>&& data) const {
+    Message msg;
+    msg.logical_bytes = data.size() * sizeof(double);
+    msg.payload = std::move(data);
+    net_->deliver(rank_, dst, tag, std::move(msg));
+  }
+
+  /// Send int indices (4 B/element on the wire; transported as doubles,
+  /// which represent indices < 2^53 exactly).
+  void send_ints(int dst, Tag tag, std::span<const int> data) const {
+    Message msg;
+    msg.payload.reserve(data.size());
+    for (int x : data) msg.payload.push_back(static_cast<double>(x));
+    msg.logical_bytes = data.size() * sizeof(int);
+    net_->deliver(rank_, dst, tag, std::move(msg));
+  }
+
+  /// Blocking receive of a double buffer from `src`.
+  [[nodiscard]] std::vector<double> recv(int src, Tag tag) const {
+    return net_->receive(rank_, src, tag).payload;
+  }
+
+  /// Blocking receive of an int index buffer from `src`.
+  [[nodiscard]] std::vector<int> recv_ints(int src, Tag tag) const {
+    const Message msg = net_->receive(rank_, src, tag);
+    std::vector<int> out;
+    out.reserve(msg.payload.size());
+    for (double x : msg.payload) out.push_back(static_cast<int>(x));
+    return out;
+  }
+
+  // --- point-to-point, ghost (dry-run) ------------------------------------
+
+  /// Send only a byte count: exercises the same channel and accounting as a
+  /// real message without materializing data. Used by dry-run mode for
+  /// matrix payloads whose contents cannot affect communication volume.
+  void send_ghost(int dst, Tag tag, std::size_t logical_bytes) const {
+    Message msg;
+    msg.logical_bytes = logical_bytes;
+    net_->deliver(rank_, dst, tag, std::move(msg));
+  }
+
+  /// Ghost send sized in doubles.
+  void send_ghost_doubles(int dst, Tag tag, std::size_t count) const {
+    send_ghost(dst, tag, count * sizeof(double));
+  }
+
+  /// Blocking receive of a ghost message; returns its logical byte count.
+  [[nodiscard]] std::size_t recv_ghost(int src, Tag tag) const {
+    return net_->receive(rank_, src, tag).logical_bytes;
+  }
+
+  // --- convenience ---------------------------------------------------------
+
+  /// Simultaneous exchange with a partner (both sides must call). Returns
+  /// the partner's buffer.
+  [[nodiscard]] std::vector<double> exchange(
+      int partner, Tag tag, std::span<const double> mine) const {
+    send(partner, tag, mine);
+    return recv(partner, tag);
+  }
+
+  /// This rank's accumulated volume.
+  [[nodiscard]] CommVolume volume() const {
+    return net_->stats().rank_volume(rank_);
+  }
+
+ private:
+  Network* net_;
+  int rank_;
+};
+
+}  // namespace conflux::simnet

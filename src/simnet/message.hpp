@@ -1,0 +1,35 @@
+/// \file message.hpp
+/// Message and tag types for the simulated message-passing fabric.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace conflux::simnet {
+
+/// Message tag. Collective operations derive internal round tags by shifting
+/// the user tag left by 8 bits, so user tags must fit in 56 bits. The
+/// `make_tag` helper composes (phase, step, sub) triples used by the LU
+/// implementations.
+using Tag = std::uint64_t;
+
+/// Compose a tag from an algorithm phase, an outer-loop step and a
+/// sub-operation id. All three are range-checked in debug contract mode.
+[[nodiscard]] constexpr Tag make_tag(std::uint32_t phase, std::uint32_t step,
+                                     std::uint32_t sub = 0) noexcept {
+  return (static_cast<Tag>(phase) << 40) | (static_cast<Tag>(step) << 12) |
+         static_cast<Tag>(sub & 0xFFF);
+}
+
+/// A message in flight. `payload` may be empty for "ghost" messages used in
+/// dry-run mode: those carry only a logical byte count, which is what the
+/// communication-volume accounting consumes. `logical_bytes` is the number
+/// of bytes the message would occupy on a real network (8 per double, 4 per
+/// int index), independent of whether the payload is materialized.
+struct Message {
+  std::vector<double> payload;
+  std::size_t logical_bytes = 0;
+};
+
+}  // namespace conflux::simnet

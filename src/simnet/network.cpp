@@ -1,0 +1,49 @@
+#include "simnet/network.hpp"
+
+#include "support/assert.hpp"
+
+namespace conflux::simnet {
+
+Network::Network(int nranks)
+    : boxes_(static_cast<std::size_t>(nranks)), stats_(nranks) {
+  CONFLUX_EXPECTS(nranks >= 1);
+}
+
+void Network::deliver(int src, int dst, Tag tag, Message msg) {
+  CONFLUX_EXPECTS(src >= 0 && src < size() && dst >= 0 && dst < size());
+  stats_.record_send(src, dst, msg.logical_bytes);
+  Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
+  {
+    const std::lock_guard<std::mutex> lock(box.mutex);
+    box.queues[{src, tag}].push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+Message Network::receive(int me, int src, Tag tag) {
+  CONFLUX_EXPECTS(me >= 0 && me < size() && src >= 0 && src < size());
+  Mailbox& box = boxes_[static_cast<std::size_t>(me)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  const auto key = std::make_pair(src, tag);
+  for (;;) {
+    if (aborted()) throw JobAborted{};
+    auto it = box.queues.find(key);
+    if (it != box.queues.end() && !it->second.empty()) {
+      Message msg = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) box.queues.erase(it);
+      return msg;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void Network::abort() {
+  aborted_.store(true, std::memory_order_release);
+  for (auto& box : boxes_) {
+    const std::lock_guard<std::mutex> lock(box.mutex);
+    box.cv.notify_all();
+  }
+}
+
+}  // namespace conflux::simnet

@@ -1,0 +1,67 @@
+/// \file network.hpp
+/// The simulated interconnect: P mailboxes with (source, tag) matching and
+/// FIFO ordering per (source, destination, tag) channel — the ordering
+/// guarantee MPI gives for matching sends/receives.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "simnet/message.hpp"
+#include "simnet/stats.hpp"
+
+namespace conflux::simnet {
+
+/// Thrown out of blocked receives when another rank aborted the job
+/// (exception escaped its SPMD body); prevents deadlock on error paths.
+class JobAborted : public std::runtime_error {
+ public:
+  JobAborted() : std::runtime_error("simnet job aborted by another rank") {}
+};
+
+/// A shared-memory stand-in for the machine's network fabric. Sends are
+/// asynchronous (never block — unbounded mailboxes); receives block until a
+/// matching message arrives. All byte accounting flows through `stats()`.
+class Network {
+ public:
+  explicit Network(int nranks);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(boxes_.size()); }
+
+  /// Deposit a message from `src` into `dst`'s mailbox under `tag`.
+  void deliver(int src, int dst, Tag tag, Message msg);
+
+  /// Block until a message from `src` with `tag` is available for `me`.
+  [[nodiscard]] Message receive(int me, int src, Tag tag);
+
+  /// Mark the job as aborted and wake all blocked receivers.
+  void abort();
+  [[nodiscard]] bool aborted() const {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] StatsBoard& stats() { return stats_; }
+  [[nodiscard]] const StatsBoard& stats() const { return stats_; }
+
+ private:
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::map<std::pair<int, Tag>, std::deque<Message>> queues;
+  };
+
+  std::vector<Mailbox> boxes_;
+  StatsBoard stats_;
+  std::atomic<bool> aborted_{false};
+};
+
+}  // namespace conflux::simnet

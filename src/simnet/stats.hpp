@@ -1,0 +1,88 @@
+/// \file stats.hpp
+/// Per-rank communication-volume accounting — the reproduction's equivalent
+/// of the paper's Score-P instrumentation ("we count the aggregate bytes
+/// sent over the network", §8).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace conflux::simnet {
+
+/// Aggregated communication statistics for one rank or a whole job.
+struct CommVolume {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_sent = 0;
+
+  CommVolume& operator+=(const CommVolume& other) {
+    bytes_sent += other.bytes_sent;
+    bytes_received += other.bytes_received;
+    messages_sent += other.messages_sent;
+    return *this;
+  }
+};
+
+/// Lock-free per-rank counters. Each sender updates its own `sent` slot and
+/// the destination's `received` slot; the receive side may be hit by several
+/// sender threads concurrently, hence the atomics (relaxed: counters are
+/// read only after the SPMD join, which synchronizes).
+class StatsBoard {
+ public:
+  explicit StatsBoard(int nranks) : slots_(static_cast<std::size_t>(nranks)) {}
+
+  void record_send(int src, int dst, std::size_t bytes) {
+    if (src == dst) return;  // local copy, free (uniform remote-cost model)
+    auto& s = slots_[static_cast<std::size_t>(src)];
+    s.bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+    s.messages_sent.fetch_add(1, std::memory_order_relaxed);
+    slots_[static_cast<std::size_t>(dst)].bytes_received.fetch_add(
+        bytes, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] CommVolume rank_volume(int rank) const {
+    const auto& s = slots_[static_cast<std::size_t>(rank)];
+    return {s.bytes_sent.load(std::memory_order_relaxed),
+            s.bytes_received.load(std::memory_order_relaxed),
+            s.messages_sent.load(std::memory_order_relaxed)};
+  }
+
+  /// Total volume over all ranks (sum of bytes sent — the paper's metric).
+  [[nodiscard]] CommVolume total() const {
+    CommVolume t;
+    for (std::size_t r = 0; r < slots_.size(); ++r)
+      t += rank_volume(static_cast<int>(r));
+    return t;
+  }
+
+  /// Maximum bytes sent+received by any single rank (per-node volume, the
+  /// quantity plotted in Fig. 6).
+  [[nodiscard]] std::uint64_t max_rank_bytes() const {
+    std::uint64_t m = 0;
+    for (std::size_t r = 0; r < slots_.size(); ++r) {
+      const CommVolume v = rank_volume(static_cast<int>(r));
+      m = std::max(m, v.bytes_sent + v.bytes_received);
+    }
+    return m;
+  }
+
+  void reset() {
+    for (auto& s : slots_) {
+      s.bytes_sent.store(0, std::memory_order_relaxed);
+      s.bytes_received.store(0, std::memory_order_relaxed);
+      s.messages_sent.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> bytes_received{0};
+    std::atomic<std::uint64_t> messages_sent{0};
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace conflux::simnet

@@ -1,0 +1,69 @@
+/// \file assert.hpp
+/// Always-on contract checking for the conflux library.
+///
+/// Following the C++ Core Guidelines (I.6/I.8), public interfaces state their
+/// preconditions explicitly. We use throwing checks (rather than the C assert
+/// macro) so that contract violations are testable and active in Release
+/// builds; a failed contract indicates a bug in the caller or in the library,
+/// never an expected runtime condition.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace conflux {
+
+/// Error type thrown on contract violations (preconditions/invariants).
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace conflux
+
+/// Precondition check: use at function entry to validate arguments.
+#define CONFLUX_EXPECTS(cond)                                               \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::conflux::detail::contract_fail("precondition", #cond, __FILE__,     \
+                                       __LINE__, "");                       \
+  } while (0)
+
+/// Precondition check with an explanatory message (streamable).
+#define CONFLUX_EXPECTS_MSG(cond, msg)                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream os_;                                               \
+      os_ << msg;                                                           \
+      ::conflux::detail::contract_fail("precondition", #cond, __FILE__,     \
+                                       __LINE__, os_.str());                \
+    }                                                                       \
+  } while (0)
+
+/// Internal invariant check: a failure indicates a library bug.
+#define CONFLUX_ASSERT(cond)                                                \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::conflux::detail::contract_fail("invariant", #cond, __FILE__,        \
+                                       __LINE__, "");                       \
+  } while (0)
+
+/// Postcondition check.
+#define CONFLUX_ENSURES(cond)                                               \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::conflux::detail::contract_fail("postcondition", #cond, __FILE__,    \
+                                       __LINE__, "");                       \
+  } while (0)

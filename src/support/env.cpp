@@ -1,0 +1,28 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+
+namespace conflux {
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return value;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value) return fallback;
+  return parsed;
+}
+
+BenchScale bench_scale() {
+  return env_string("CONFLUX_BENCH_SCALE", "full") == "small"
+             ? BenchScale::Small
+             : BenchScale::Full;
+}
+
+}  // namespace conflux

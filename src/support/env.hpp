@@ -1,0 +1,28 @@
+/// \file env.hpp
+/// Environment-variable knobs used by the benchmark harness so that the full
+/// reproduction suite can be scaled down (e.g. CONFLUX_BENCH_SCALE=small) on
+/// constrained machines without editing code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace conflux {
+
+/// Read an environment variable; returns `fallback` when unset or empty.
+[[nodiscard]] std::string env_string(const char* name,
+                                     const std::string& fallback);
+
+/// Read an integer environment variable; returns `fallback` when unset or
+/// unparsable.
+[[nodiscard]] std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Benchmark scale selector: "full" reproduces the paper's parameter ranges,
+/// "small" shrinks N/P for quick smoke runs. Controlled by
+/// CONFLUX_BENCH_SCALE.
+enum class BenchScale { Small, Full };
+
+/// Current scale (default Full).
+[[nodiscard]] BenchScale bench_scale();
+
+}  // namespace conflux

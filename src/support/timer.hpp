@@ -1,0 +1,30 @@
+/// \file timer.hpp
+/// Minimal wall-clock stopwatch for benchmark reporting.
+#pragma once
+
+#include <chrono>
+
+namespace conflux {
+
+/// Steady-clock stopwatch. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace conflux

@@ -1,0 +1,167 @@
+// Tests for the DAAP lower-bound engine (§3-§6): the numeric solver is
+// pinned against every closed form derived in the paper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "daap/bound_solver.hpp"
+#include "daap/kernels.hpp"
+
+namespace conflux::daap {
+namespace {
+
+constexpr double kN = 512.0;
+
+class MemorySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MemorySweep, MmmMatchesClosedForm) {
+  const double m = GetParam();
+  const ProgramBound bound = solve_program(matmul(kN), m);
+  const StatementBound& s = bound.statements[0];
+  // psi(X) = (X/3)^(3/2), X0 = 3M, rho = sqrt(M)/2 — [42]'s tight result.
+  EXPECT_NEAR(s.x0, 3.0 * m, 0.02 * m);
+  EXPECT_NEAR(s.rho, std::sqrt(m) / 2.0, 0.01 * std::sqrt(m));
+  EXPECT_NEAR(bound.q_sequential, mmm_bound_sequential(kN, m),
+              0.02 * mmm_bound_sequential(kN, m));
+}
+
+TEST_P(MemorySweep, LuMatchesSection6) {
+  const double m = GetParam();
+  const ProgramBound bound = solve_program(lu_factorization(kN), m);
+  ASSERT_EQ(bound.statements.size(), 2u);
+  // S1: Lemma 6 caps rho at 1; S2: the MMM-like intensity sqrt(M)/2.
+  EXPECT_NEAR(bound.statements[0].rho, 1.0, 1e-9);
+  EXPECT_NEAR(bound.statements[1].rho, std::sqrt(m) / 2.0,
+              0.01 * std::sqrt(m));
+  const double want = lu_bound_sequential(kN, m);
+  EXPECT_NEAR(bound.q_sequential, want, 0.02 * want);
+}
+
+TEST_P(MemorySweep, ParallelBoundIsLemma9) {
+  const double m = GetParam();
+  for (double p : {2.0, 64.0, 1024.0}) {
+    const ProgramBound seq = solve_program(lu_factorization(kN), m, 1.0);
+    const ProgramBound par = solve_program(lu_factorization(kN), m, p);
+    EXPECT_NEAR(par.q_parallel, seq.q_sequential / p,
+                1e-9 * seq.q_sequential);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Memories, MemorySweep,
+                         ::testing::Values(64.0, 256.0, 1024.0, 4096.0));
+
+TEST(Section41, SharedBReuseEqualsN3OverM) {
+  const double m = 1024.0;
+  const ProgramBound bound = solve_program(section41_shared_b(kN), m);
+  // Each statement alone costs N^3/M; sharing B saves exactly one of them.
+  ASSERT_EQ(bound.reuses.size(), 1u);
+  EXPECT_EQ(bound.reuses[0].array, "B");
+  const double n3m = kN * kN * kN / m;
+  EXPECT_NEAR(bound.reuses[0].reuse, n3m, 0.05 * n3m);
+  EXPECT_NEAR(bound.q_sequential, n3m, 0.05 * n3m);
+}
+
+TEST(Section42, GeneratedInputDropsDominatorTerm) {
+  const double m = 1024.0;
+  const ProgramBound bound = solve_program(section42_generated_a(kN), m);
+  // S costs nothing (no inputs, rho -> inf); T's A-term is dropped, giving
+  // the paper's Q_tot >= N^3/M instead of the standalone 2N^3/sqrt(M).
+  EXPECT_EQ(bound.statements[0].q, 0.0);
+  const double n3m = kN * kN * kN / m;
+  EXPECT_NEAR(bound.q_sequential, n3m, 0.05 * n3m);
+  // Strictly weaker than the no-reuse MMM bound at this M.
+  EXPECT_LT(bound.q_sequential, mmm_bound_sequential(kN, m));
+}
+
+TEST(OutputReuse, UnitIntensityProducerChangesNothing) {
+  // LU's S1 has rho = 1, so S2's bound equals its standalone value
+  // (the paper's observation that recomputation cannot pay off).
+  const double m = 1024.0;
+  const ProgramBound with_reuse = solve_program(lu_factorization(kN), m);
+  Program standalone = lu_factorization(kN);
+  standalone.statements[1].inputs[0].producer = -1;  // sever the link
+  const ProgramBound without = solve_program(standalone, m);
+  EXPECT_NEAR(with_reuse.statements[1].q, without.statements[1].q,
+              0.01 * without.statements[1].q);
+}
+
+TEST(Cholesky, BoundIsOneThirdishOfCube) {
+  const double m = 1024.0;
+  const ProgramBound bound = solve_program(cholesky(kN), m);
+  const double leading = kN * kN * kN / (3.0 * std::sqrt(m));
+  EXPECT_GT(bound.q_sequential, 0.9 * leading);
+  EXPECT_LT(bound.q_sequential, 1.6 * leading);
+  // Cholesky moves strictly less than LU (half the update volume).
+  EXPECT_LT(bound.q_sequential,
+            solve_program(lu_factorization(kN), m).q_sequential);
+}
+
+TEST(MaxVolume, MonotoneInX) {
+  const Program prog = matmul(kN);
+  double prev = 0;
+  for (double x : {16.0, 64.0, 256.0, 1024.0}) {
+    const VolumeSolution sol = max_volume(prog.statements[0], x);
+    EXPECT_GT(sol.volume, prev);
+    prev = sol.volume;
+  }
+}
+
+TEST(MaxVolume, AccessSizesRespectConstraint) {
+  const Program prog = matmul(kN);
+  const VolumeSolution sol = max_volume(prog.statements[0], 300.0);
+  double total = 0;
+  for (double a : sol.access_sizes) total += a;
+  EXPECT_LE(total, 300.0 * 1.01);
+  for (double r : sol.ranges) EXPECT_GE(r, 1.0 - 1e-9);
+}
+
+TEST(MaxVolume, Section41HasPsiXHalfSquared) {
+  const Program prog = section41_shared_b(kN);
+  const VolumeSolution sol = max_volume(prog.statements[0], 1000.0);
+  EXPECT_NEAR(sol.volume, 250.0 * 1000.0 / 1.0, 0.05 * 250000.0);  // (X/2)^2
+}
+
+TEST(Lemma6, OutDegreeOneCapsIntensity) {
+  // LU S1 without the cap would report rho slightly above 1 (psi = X - 1);
+  // with the flag cleared the bound must weaken.
+  Program prog = lu_factorization(kN);
+  prog.statements[0].inputs[0].out_degree_one = false;
+  const ProgramBound uncapped = solve_program(prog, 1024.0);
+  const ProgramBound capped = solve_program(lu_factorization(kN), 1024.0);
+  EXPECT_LE(uncapped.statements[0].q, capped.statements[0].q * 1.01);
+}
+
+TEST(Validate, RejectsMalformedPrograms) {
+  Program bad = matmul(kN);
+  bad.statements[0].inputs[0].vars = {7};  // out of range for 3 vars
+  EXPECT_THROW(solve_program(bad, 64.0), ContractViolation);
+
+  Program cyclic = lu_factorization(kN);
+  cyclic.statements[0].inputs[0].producer = 1;  // forward reference
+  EXPECT_THROW(solve_program(cyclic, 64.0), ContractViolation);
+
+  Program empty_domain = matmul(kN);
+  empty_domain.statements[0].domain_size = 0;
+  EXPECT_THROW(solve_program(empty_domain, 64.0), ContractViolation);
+}
+
+TEST(Bounds, GrowWithProblemAndShrinkWithMemory) {
+  const double q_small = solve_program(matmul(256), 1024.0).q_sequential;
+  const double q_big = solve_program(matmul(512), 1024.0).q_sequential;
+  EXPECT_GT(q_big, 7.0 * q_small);  // ~N^3 scaling
+  const double q_more_mem = solve_program(matmul(256), 4096.0).q_sequential;
+  EXPECT_LT(q_more_mem, q_small);  // ~1/sqrt(M) scaling
+  EXPECT_NEAR(q_small / q_more_mem, 2.0, 0.1);
+}
+
+TEST(Bounds, LuParallelClosedFormMatchesPaperStatement) {
+  // Q >= 2N^3/(3 P sqrt M) + N(N-1)/(2P) — §6's final display.
+  const double n = 16384, m = 2.68e6, p = 1024;
+  const double q = lu_bound_parallel(n, m, p);
+  const double leading = 2.0 * n * n * n / (3.0 * p * std::sqrt(m));
+  EXPECT_GT(q, leading);
+  EXPECT_LT(q, 1.1 * leading);
+}
+
+}  // namespace
+}  // namespace conflux::daap

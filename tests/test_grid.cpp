@@ -1,0 +1,198 @@
+// Tests for processor grids, block-cyclic maps and the Processor Grid
+// Optimization of §8.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "grid/block_cyclic.hpp"
+#include "grid/grid3d.hpp"
+#include "grid/grid_opt.hpp"
+
+namespace conflux::grid {
+namespace {
+
+TEST(Grid3D, RankCoordRoundTrip) {
+  const Grid3D g(3, 4, 2);
+  EXPECT_EQ(g.active(), 24);
+  std::set<int> seen;
+  for (int px = 0; px < 3; ++px)
+    for (int py = 0; py < 4; ++py)
+      for (int l = 0; l < 2; ++l) {
+        const int r = g.rank_of({px, py, l});
+        EXPECT_TRUE(seen.insert(r).second);
+        EXPECT_EQ(g.coord_of(r), (Coord3{px, py, l}));
+      }
+  EXPECT_EQ(*seen.rbegin(), 23);
+}
+
+TEST(Grid3D, RejectsOutOfRange) {
+  const Grid3D g(2, 2, 2);
+  EXPECT_THROW(g.rank_of({2, 0, 0}), ContractViolation);
+  EXPECT_THROW(g.coord_of(8), ContractViolation);
+  EXPECT_THROW(Grid3D(0, 1, 1), ContractViolation);
+}
+
+TEST(Grid2D, ColumnMajorRanks) {
+  const Grid2D g(3, 2);
+  EXPECT_EQ(g.rank_of(0, 0), 0);
+  EXPECT_EQ(g.rank_of(2, 0), 2);
+  EXPECT_EQ(g.rank_of(0, 1), 3);
+  EXPECT_EQ(g.row_of(4), 1);
+  EXPECT_EQ(g.col_of(4), 1);
+}
+
+class BlockCyclicParam
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BlockCyclicParam, PartitionIsExact) {
+  const auto [n, b, p] = GetParam();
+  const BlockCyclic1D map(n, b, p);
+  // Every index owned exactly once; local indices consistent.
+  int total = 0;
+  for (int r = 0; r < p; ++r) {
+    const auto mine = map.indices_of_owner(r);
+    EXPECT_EQ(static_cast<int>(mine.size()), map.extent_of_owner(r));
+    total += static_cast<int>(mine.size());
+    for (int g : mine) EXPECT_EQ(map.owner_of(g), r);
+    // Ascending and locally dense within tiles.
+    for (std::size_t i = 1; i < mine.size(); ++i)
+      EXPECT_LT(mine[i - 1], mine[i]);
+  }
+  EXPECT_EQ(total, n);
+}
+
+TEST_P(BlockCyclicParam, TileAccounting) {
+  const auto [n, b, p] = GetParam();
+  const BlockCyclic1D map(n, b, p);
+  EXPECT_EQ(map.tiles(), (n + b - 1) / b);
+  int sized = 0;
+  for (int t = 0; t < map.tiles(); ++t) {
+    sized += map.tile_size(t);
+    EXPECT_EQ(map.tile_owner(t), t % p);
+  }
+  EXPECT_EQ(sized, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Maps, BlockCyclicParam,
+    ::testing::Values(std::make_tuple(16, 4, 2), std::make_tuple(17, 4, 3),
+                      std::make_tuple(1, 1, 1), std::make_tuple(100, 7, 5),
+                      std::make_tuple(64, 64, 4), std::make_tuple(9, 2, 16)));
+
+TEST(Chunks, RangeCoversExactly) {
+  for (int n : {0, 1, 7, 100, 1001}) {
+    for (int parts : {1, 2, 7, 32}) {
+      int covered = 0;
+      int prev_end = 0;
+      for (int k = 0; k < parts; ++k) {
+        const Range r = chunk_range(n, parts, k);
+        EXPECT_EQ(r.begin, prev_end);
+        prev_end = r.end;
+        covered += r.size();
+      }
+      EXPECT_EQ(prev_end, n);
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(Chunks, ChunkOfInvertsRange) {
+  for (int n : {1, 13, 64, 257}) {
+    for (int parts : {1, 3, 8, 31}) {
+      for (int i = 0; i < n; ++i) {
+        const int k = chunk_of(n, parts, i);
+        const Range r = chunk_range(n, parts, k);
+        EXPECT_GE(i, r.begin);
+        EXPECT_LT(i, r.end);
+      }
+    }
+  }
+}
+
+TEST(GridOpt, CostFormulaRecovers25DOptimum) {
+  // With free memory the optimizer should pick c on the order of P^(1/3).
+  for (int p : {64, 512, 4096}) {
+    const GridChoice choice = optimize_grid(p, 1 << 14);
+    const double c_star = std::cbrt(static_cast<double>(p));
+    EXPECT_GE(choice.grid.layers(), static_cast<int>(c_star / 3));
+    EXPECT_LE(choice.grid.layers(), static_cast<int>(c_star * 3) + 1);
+    EXPECT_LE(choice.grid.active(), p);
+  }
+}
+
+TEST(GridOpt, MemoryCapLimitsReplication) {
+  const int p = 512, n = 1 << 12;
+  const double m2d = static_cast<double>(n) * n / p;  // no room to replicate
+  const GridChoice tight = optimize_grid(p, n, m2d);
+  EXPECT_EQ(tight.grid.layers(), 1);
+  const GridChoice loose = optimize_grid(p, n, 8.0 * m2d);
+  EXPECT_GT(loose.grid.layers(), 1);
+  // The memory-per-rank invariant N^2/(Px*Py) <= M must hold.
+  const double used = static_cast<double>(n) * n /
+                      (loose.grid.px_extent() * loose.grid.py_extent());
+  EXPECT_LE(used, 8.0 * m2d * (1 + 1e-9));
+}
+
+TEST(GridOpt, ForcedLayerCapRespected) {
+  const GridChoice flat = optimize_grid(512, 4096, -1.0, 1);
+  EXPECT_EQ(flat.grid.layers(), 1);
+}
+
+TEST(GridOpt, AwkwardRankCountsStaySmooth) {
+  // The paper's Fig. 6a inset: greedy 2D grids blow up at primes; the
+  // optimizer's cost must stay within a small factor of the neighbouring
+  // power of two.
+  const int n = 8192;
+  const double at_1024 = optimize_grid(1024, n).modeled_cost_per_rank;
+  for (int p : {1009, 1013, 1021}) {  // primes near 1024
+    const GridChoice choice = optimize_grid(p, n);
+    EXPECT_LT(choice.modeled_cost_per_rank, 1.5 * at_1024);
+    EXPECT_LT(choice.idle_ranks, p / 4);
+  }
+}
+
+TEST(GridOpt, CostDecreasesWithMoreRanks) {
+  const int n = 4096;
+  double prev = 1e300;
+  for (int p : {8, 64, 512, 4096}) {
+    const double cost = optimize_grid(p, n).modeled_cost_per_rank;
+    EXPECT_LT(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST(Grid2DChoosers, AllRanksGridUsesEveryRank) {
+  for (int p : {1, 4, 12, 60, 64, 97, 1024}) {
+    const Grid2D g = choose_grid_2d_all_ranks(p);
+    EXPECT_EQ(g.active(), p);
+  }
+  // Primes degrade to 1 x P — the documented LibSci outlier behaviour.
+  EXPECT_EQ(choose_grid_2d_all_ranks(97).rows(), 1);
+}
+
+TEST(Grid2DChoosers, NearSquareMayIdleRanks) {
+  const Grid2D g = choose_grid_2d_near_square(97);
+  EXPECT_GT(g.rows(), 1);  // avoids the 1 x P catastrophe
+  EXPECT_LE(g.active(), 97);
+  EXPECT_GE(g.active(), 80);
+}
+
+TEST(BlockSize, DividesNAndRespectsFloor) {
+  for (int n : {64, 100, 4096, 16384}) {
+    for (int c : {1, 2, 4, 10}) {
+      const int v = choose_block_size(n, c, 128);
+      EXPECT_EQ(n % v, 0) << "n=" << n << " c=" << c;
+      EXPECT_GE(v, std::min(c, n));
+    }
+  }
+}
+
+TEST(BlockSize, PrefersNearTarget) {
+  EXPECT_EQ(choose_block_size(4096, 1, 128), 128);
+  EXPECT_EQ(choose_block_size(100, 1, 24), 25);
+  EXPECT_EQ(choose_block_size(7, 1, 3), 1);  // prime: only 1 or 7
+}
+
+}  // namespace
+}  // namespace conflux::grid

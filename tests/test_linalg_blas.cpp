@@ -1,0 +1,181 @@
+// Tests for the BLAS-3 kernels: GEMM against a naive reference, the four
+// TRSM variants against explicit residuals, over parameterized shape sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include "linalg/blas.hpp"
+#include "linalg/generate.hpp"
+
+namespace conflux::linalg {
+namespace {
+
+Matrix naive_gemm(double alpha, const Matrix& a, const Matrix& b, double beta,
+                  const Matrix& c) {
+  Matrix out = c;
+  for (int i = 0; i < c.rows(); ++i)
+    for (int j = 0; j < c.cols(); ++j) {
+      double sum = 0;
+      for (int k = 0; k < a.cols(); ++k) sum += a(i, k) * b(k, j);
+      out(i, j) = alpha * sum + beta * c(i, j);
+    }
+  return out;
+}
+
+class GemmShape
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShape, MatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  const Matrix a = generate(m, k, MatrixKind::Uniform, 1);
+  const Matrix b = generate(k, n, MatrixKind::Uniform, 2);
+  Matrix c = generate(m, n, MatrixKind::Uniform, 3);
+  const Matrix want = naive_gemm(1.5, a, b, -0.5, c);
+  gemm(1.5, a.view(), b.view(), -0.5, c.view());
+  EXPECT_LT(max_abs_diff(c.view(), want.view()), 1e-12 * k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShape,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(5, 3, 7),
+                      std::make_tuple(16, 16, 16), std::make_tuple(33, 1, 65),
+                      std::make_tuple(64, 65, 63), std::make_tuple(1, 70, 70),
+                      std::make_tuple(128, 17, 96)));
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  Matrix c(2, 2);
+  c(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  const Matrix a = Matrix::identity(2);
+  gemm(1.0, a.view(), a.view(), 0.0, c.view());
+  EXPECT_EQ(c(0, 0), 1.0);
+  EXPECT_EQ(c(0, 1), 0.0);
+}
+
+TEST(Gemm, AlphaZeroScalesOnly) {
+  Matrix c(2, 2);
+  c(1, 1) = 4.0;
+  const Matrix a = generate(2, MatrixKind::Uniform, 1);
+  gemm(0.0, a.view(), a.view(), 0.5, c.view());
+  EXPECT_EQ(c(1, 1), 2.0);
+}
+
+TEST(Gemm, EmptyKIsPureScale) {
+  Matrix a(3, 0), b(0, 3);
+  Matrix c = Matrix::identity(3);
+  gemm(1.0, a.view(), b.view(), 3.0, c.view());
+  EXPECT_EQ(c(1, 1), 3.0);
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 2), c(2, 2);  // a.cols != b.rows
+  EXPECT_THROW(gemm(1.0, a.view(), b.view(), 0.0, c.view()),
+               ContractViolation);
+}
+
+TEST(SchurUpdate, SubtractsProduct) {
+  const Matrix a = generate(8, 4, MatrixKind::Uniform, 4);
+  const Matrix b = generate(4, 8, MatrixKind::Uniform, 5);
+  Matrix c = generate(8, 8, MatrixKind::Uniform, 6);
+  const Matrix want = naive_gemm(-1.0, a, b, 1.0, c);
+  schur_update(c.view(), a.view(), b.view());
+  EXPECT_LT(max_abs_diff(c.view(), want.view()), 1e-13);
+}
+
+/// Build a well-conditioned triangular matrix.
+Matrix triangular(int n, Triangle tri, Diag diag, std::uint64_t seed) {
+  Matrix t = generate(n, MatrixKind::Uniform, seed);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      const bool keep = tri == Triangle::Lower ? j <= i : j >= i;
+      if (!keep) t(i, j) = 0.0;
+      if (i == j) t(i, j) = diag == Diag::Unit ? 1.0 : 2.0 + 0.1 * i;
+    }
+  return t;
+}
+
+class TrsmCase : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TrsmCase, LeftLowerSolves) {
+  const auto [m, n] = GetParam();
+  for (Diag diag : {Diag::Unit, Diag::NonUnit}) {
+    const Matrix l = triangular(m, Triangle::Lower, diag, 11);
+    const Matrix b = generate(m, n, MatrixKind::Uniform, 12);
+    Matrix x = b;
+    trsm_left(Triangle::Lower, diag, l.view(), x.view());
+    Matrix lx(m, n);
+    gemm(1.0, l.view(), x.view(), 0.0, lx.view());
+    EXPECT_LT(max_abs_diff(lx.view(), b.view()), 1e-10) << "m=" << m;
+  }
+}
+
+TEST_P(TrsmCase, LeftUpperSolves) {
+  const auto [m, n] = GetParam();
+  for (Diag diag : {Diag::Unit, Diag::NonUnit}) {
+    const Matrix u = triangular(m, Triangle::Upper, diag, 13);
+    const Matrix b = generate(m, n, MatrixKind::Uniform, 14);
+    Matrix x = b;
+    trsm_left(Triangle::Upper, diag, u.view(), x.view());
+    Matrix ux(m, n);
+    gemm(1.0, u.view(), x.view(), 0.0, ux.view());
+    EXPECT_LT(max_abs_diff(ux.view(), b.view()), 1e-10);
+  }
+}
+
+TEST_P(TrsmCase, RightUpperSolves) {
+  const auto [m, n] = GetParam();
+  for (Diag diag : {Diag::Unit, Diag::NonUnit}) {
+    const Matrix u = triangular(n, Triangle::Upper, diag, 15);
+    const Matrix b = generate(m, n, MatrixKind::Uniform, 16);
+    Matrix x = b;
+    trsm_right(Triangle::Upper, diag, u.view(), x.view());
+    Matrix xu(m, n);
+    gemm(1.0, x.view(), u.view(), 0.0, xu.view());
+    EXPECT_LT(max_abs_diff(xu.view(), b.view()), 1e-10);
+  }
+}
+
+TEST_P(TrsmCase, RightLowerSolves) {
+  const auto [m, n] = GetParam();
+  for (Diag diag : {Diag::Unit, Diag::NonUnit}) {
+    const Matrix l = triangular(n, Triangle::Lower, diag, 17);
+    const Matrix b = generate(m, n, MatrixKind::Uniform, 18);
+    Matrix x = b;
+    trsm_right(Triangle::Lower, diag, l.view(), x.view());
+    Matrix xl(m, n);
+    gemm(1.0, x.view(), l.view(), 0.0, xl.view());
+    EXPECT_LT(max_abs_diff(xl.view(), b.view()), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TrsmCase,
+                         ::testing::Values(std::make_tuple(1, 1),
+                                           std::make_tuple(4, 9),
+                                           std::make_tuple(16, 16),
+                                           std::make_tuple(31, 7),
+                                           std::make_tuple(64, 33)));
+
+TEST(Trsm, IgnoresOppositeTriangleGarbage) {
+  Matrix l = triangular(6, Triangle::Lower, Diag::NonUnit, 19);
+  // Poison the strictly-upper part; the solve must not read it.
+  for (int i = 0; i < 6; ++i)
+    for (int j = i + 1; j < 6; ++j)
+      l(i, j) = std::numeric_limits<double>::quiet_NaN();
+  const Matrix b = generate(6, 3, MatrixKind::Uniform, 20);
+  Matrix x = b;
+  trsm_left(Triangle::Lower, Diag::NonUnit, l.view(), x.view());
+  EXPECT_FALSE(std::isnan(x(5, 2)));
+}
+
+TEST(Trsm, ShapeMismatchThrows) {
+  Matrix a(3, 3), b(4, 2);
+  EXPECT_THROW(trsm_left(Triangle::Lower, Diag::Unit, a.view(), b.view()),
+               ContractViolation);
+  Matrix c(2, 4);
+  EXPECT_THROW(trsm_right(Triangle::Upper, Diag::Unit, a.view(), c.view()),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace conflux::linalg

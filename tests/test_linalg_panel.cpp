@@ -1,0 +1,165 @@
+// Tests for the tournament-pivoting (TSLU) building blocks of §7.3.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "linalg/blas.hpp"
+#include "linalg/generate.hpp"
+#include "linalg/getrf.hpp"
+#include "linalg/panel.hpp"
+
+namespace conflux::linalg {
+namespace {
+
+PivotCandidates make_candidates(int rows, int v, std::uint64_t seed,
+                                int id_offset = 0) {
+  PivotCandidates cand;
+  cand.values = generate(rows, v, MatrixKind::Uniform, seed);
+  for (int i = 0; i < rows; ++i) cand.rows.push_back(id_offset + i);
+  return cand;
+}
+
+TEST(RankRows, ReturnsRequestedCount) {
+  const auto cand = make_candidates(10, 4, 31);
+  EXPECT_EQ(rank_rows_gepp(cand, 4).size(), 4u);
+  EXPECT_EQ(rank_rows_gepp(cand, 12).size(), 10u);  // capped at count
+  EXPECT_TRUE(rank_rows_gepp(PivotCandidates{}, 4).empty());
+}
+
+TEST(RankRows, FirstChoiceIsColumnMax) {
+  auto cand = make_candidates(8, 3, 32);
+  for (int i = 0; i < 8; ++i) cand.values(i, 0) = i == 5 ? 100.0 : 1.0;
+  const auto order = rank_rows_gepp(cand, 3);
+  EXPECT_EQ(order[0], 5);
+}
+
+TEST(SelectBest, KeepsOriginalValues) {
+  const auto cand = make_candidates(12, 4, 33);
+  const auto best = select_best(cand, 4);
+  ASSERT_EQ(best.count(), 4);
+  for (int i = 0; i < 4; ++i) {
+    // Find the source row and compare values verbatim.
+    const auto it =
+        std::find(cand.rows.begin(), cand.rows.end(), best.rows[static_cast<std::size_t>(i)]);
+    ASSERT_NE(it, cand.rows.end());
+    const int src = static_cast<int>(it - cand.rows.begin());
+    for (int j = 0; j < 4; ++j)
+      EXPECT_EQ(best.values(i, j), cand.values(src, j));
+  }
+}
+
+TEST(TournamentRound, SymmetricInArguments) {
+  const auto a = make_candidates(6, 4, 34, 0);
+  const auto b = make_candidates(6, 4, 35, 100);
+  const auto ab = tournament_round(a, b, 4);
+  const auto ba = tournament_round(b, a, 4);
+  EXPECT_EQ(ab.rows, ba.rows);
+  EXPECT_EQ(max_abs_diff(ab.values.view(), ba.values.view()), 0.0);
+}
+
+TEST(TournamentRound, HandlesEmptySide) {
+  const auto a = make_candidates(5, 3, 36);
+  const auto merged = tournament_round(a, PivotCandidates{}, 3);
+  EXPECT_EQ(merged.count(), 3);
+}
+
+TEST(TournamentRound, WinnersComeFromBothSidesWhenStrong) {
+  auto a = make_candidates(4, 2, 37, 0);
+  auto b = make_candidates(4, 2, 38, 100);
+  // Make one row of each side dominant in one column.
+  a.values(1, 0) = 50.0;
+  b.values(2, 1) = 50.0;
+  const auto merged = tournament_round(a, b, 2);
+  const bool has_a = std::any_of(merged.rows.begin(), merged.rows.end(),
+                                 [](int r) { return r < 100; });
+  const bool has_b = std::any_of(merged.rows.begin(), merged.rows.end(),
+                                 [](int r) { return r >= 100; });
+  EXPECT_TRUE(has_a);
+  EXPECT_TRUE(has_b);
+}
+
+TEST(Finalize, FactorsWinnerBlock) {
+  const auto winners = make_candidates(5, 5, 39);
+  const TournamentResult result = finalize_tournament(winners);
+  ASSERT_EQ(result.pivot_rows.size(), 5u);
+  // Rebuild PA from the original rows in pivot order and check L*U = PA.
+  Matrix pa(5, 5);
+  for (int i = 0; i < 5; ++i) {
+    const int src = result.pivot_rows[static_cast<std::size_t>(i)];
+    for (int j = 0; j < 5; ++j) pa(i, j) = winners.values(src, j);
+  }
+  const Matrix l = extract_lower_unit(result.a00.view());
+  const Matrix u = extract_upper(result.a00.view());
+  Matrix prod(5, 5);
+  gemm(1.0, l.view(), u.view(), 0.0, prod.view());
+  EXPECT_LT(max_abs_diff(prod.view(), pa.view()), 1e-12);
+}
+
+TEST(PackUnpack, RoundTrips) {
+  const auto cand = make_candidates(7, 3, 40, 42);
+  const auto buf = pack_candidates(cand);
+  EXPECT_EQ(buf.size(), 2u + 7u * (1 + 3));
+  const auto back = unpack_candidates(buf);
+  EXPECT_EQ(back.rows, cand.rows);
+  EXPECT_EQ(max_abs_diff(back.values.view(), cand.values.view()), 0.0);
+}
+
+TEST(PackUnpack, EmptySet) {
+  PivotCandidates empty;
+  empty.values = Matrix(0, 4);
+  const auto back = unpack_candidates(pack_candidates(empty));
+  EXPECT_EQ(back.count(), 0);
+}
+
+TEST(PackUnpack, MalformedBufferThrows) {
+  std::vector<double> junk = {3.0, 2.0, 1.0};  // inconsistent header
+  EXPECT_THROW(unpack_candidates(junk), ContractViolation);
+}
+
+class TournamentStability : public ::testing::TestWithParam<int> {};
+
+// Tournament pivoting selects pivots whose growth behaves like partial
+// pivoting's [29]: run a full simulated tournament over `parts` participants
+// and compare the winner block's conditioning against GEPP's choice.
+TEST_P(TournamentStability, GrowthComparableToGepp) {
+  const int parts = GetParam();
+  const int v = 4, rows_per = 8;
+  const Matrix panel =
+      generate(parts * rows_per, v, MatrixKind::Uniform, 41);
+
+  // Tournament: local select then pairwise merge.
+  std::vector<PivotCandidates> cands;
+  for (int p = 0; p < parts; ++p) {
+    PivotCandidates local;
+    local.values = Matrix(rows_per, v);
+    for (int i = 0; i < rows_per; ++i) {
+      local.rows.push_back(p * rows_per + i);
+      for (int j = 0; j < v; ++j)
+        local.values(i, j) = panel(p * rows_per + i, j);
+    }
+    cands.push_back(select_best(local, v));
+  }
+  while (cands.size() > 1) {
+    std::vector<PivotCandidates> next;
+    for (std::size_t i = 0; i + 1 < cands.size(); i += 2)
+      next.push_back(tournament_round(cands[i], cands[i + 1], v));
+    if (cands.size() % 2 == 1) next.push_back(cands.back());
+    cands = std::move(next);
+  }
+  const TournamentResult tslu = finalize_tournament(cands[0]);
+
+  // GEPP on the full panel for reference.
+  Matrix ref = panel;
+  std::vector<int> ipiv(static_cast<std::size_t>(v));
+  (void)getrf_unblocked(ref.view(), ipiv);
+  const double gepp_umax = max_abs(extract_upper(ref.view()).view());
+  const double tslu_umax = max_abs(extract_upper(tslu.a00.view()).view());
+  // TSLU growth within a modest factor of GEPP growth.
+  EXPECT_LT(tslu_umax, 8.0 * gepp_umax + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Participants, TournamentStability,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+}  // namespace
+}  // namespace conflux::linalg

@@ -1,0 +1,280 @@
+// Tests for the red-blue pebble game substrate: cDAG builders, rule
+// enforcement, schedules vs the daap lower bounds, X-partition utilities,
+// and the parallel (hued) game of §5.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "daap/bound_solver.hpp"
+#include "daap/kernels.hpp"
+#include "pebble/cdag.hpp"
+#include "pebble/game.hpp"
+#include "pebble/parallel_game.hpp"
+#include "pebble/schedulers.hpp"
+#include "pebble/xpartition.hpp"
+
+namespace conflux::pebble {
+namespace {
+
+TEST(CDag, LuVertexCount) {
+  // n^2 inputs + sum_k [(n-k-1) S1 + (n-k-1)^2 S2] vertices.
+  for (int n : {1, 2, 3, 4, 6}) {
+    const BuiltDag built = lu_cdag(n);
+    int want = n * n;
+    for (int k = 0; k < n; ++k)
+      want += (n - k - 1) + (n - k - 1) * (n - k - 1);
+    EXPECT_EQ(built.dag.size(), want) << "n=" << n;
+    EXPECT_EQ(static_cast<int>(built.dag.inputs().size()), n * n);
+  }
+}
+
+TEST(CDag, LuDependencyStructure) {
+  const BuiltDag built = lu_cdag(3);
+  const CDag& dag = built.dag;
+  // The final vertex of (2,2) depends (transitively) on everything; its
+  // immediate predecessors are the k=1 versions per Figure 1's S2.
+  const int last = built.final_vertex[2][2];
+  EXPECT_EQ(dag.preds(last).size(), 3u);
+  EXPECT_TRUE(dag.is_output(last));
+}
+
+TEST(CDag, MmmShapeAndDegrees) {
+  const int n = 4;
+  const BuiltDag built = mmm_cdag(n);
+  EXPECT_EQ(built.dag.size(), 2 * n * n + n * n * n);
+  EXPECT_EQ(built.dag.compute_count(), n * n * n);
+  // Every A input feeds exactly n products.
+  EXPECT_EQ(built.dag.succs(0).size(), static_cast<std::size_t>(n));
+  // Final accumulators are the outputs.
+  EXPECT_EQ(built.dag.outputs().size(), static_cast<std::size_t>(n * n));
+}
+
+TEST(CDag, Figure2Examples) {
+  const BuiltDag ew = elementwise_cdag(3);
+  // Each compute vertex has one out-degree-1 input (A) and one shared (b).
+  EXPECT_EQ(ew.dag.compute_count(), 9);
+  const BuiltDag ip = inner_product_cdag(4);
+  EXPECT_EQ(ip.dag.outputs().size(), 1u);
+}
+
+TEST(Game, RulesEnforced) {
+  const BuiltDag built = inner_product_cdag(2);
+  RedBluePebbleGame game(built.dag, 4);
+  const int input = built.dag.inputs()[0];
+  const int out = built.final_vertex[0][0];
+
+  EXPECT_THROW(game.compute(input), IllegalMove);    // inputs not computable
+  EXPECT_THROW(game.store(input), IllegalMove);      // not red yet
+  EXPECT_THROW(game.discard(input), IllegalMove);    // no red pebble
+  EXPECT_THROW(game.compute(out), IllegalMove);      // preds not red
+  game.load(input);
+  EXPECT_TRUE(game.red(input));
+  EXPECT_THROW(game.load(input), IllegalMove);       // already red
+  EXPECT_EQ(game.io_count(), 1u);
+}
+
+TEST(Game, MemoryLimitEnforced) {
+  const BuiltDag built = mmm_cdag(3);
+  RedBluePebbleGame game(built.dag, 2);
+  const auto inputs = built.dag.inputs();
+  game.load(inputs[0]);
+  game.load(inputs[1]);
+  EXPECT_THROW(game.load(inputs[2]), IllegalMove);  // M exhausted
+  game.discard(inputs[0]);
+  EXPECT_NO_THROW(game.load(inputs[2]));
+}
+
+TEST(Game, CompletionRequiresBlueOutputs) {
+  const BuiltDag built = inner_product_cdag(2);
+  RedBluePebbleGame game(built.dag, 8);
+  EXPECT_FALSE(game.complete());
+  for (int v : built.dag.inputs()) game.load(v);
+  // compute both accumulator vertices (natural order).
+  for (int v = 0; v < built.dag.size(); ++v)
+    if (!built.dag.is_input(v)) game.compute(v);
+  EXPECT_FALSE(game.complete());
+  game.store(built.final_vertex[0][0]);
+  EXPECT_TRUE(game.complete());
+  // loads(4 inputs) + 1 store.
+  EXPECT_EQ(game.io_count(), 5u);
+}
+
+class ExecutorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorSweep, SchedulesCompleteAndRespectBound) {
+  const int m = GetParam();
+  const int n = 10;
+  const BuiltDag built = mmm_cdag(n);
+  const auto order = tiled_mmm_order(n, mmm_tile_for_memory(m));
+  const RedBluePebbleGame game =
+      execute_schedule(built.dag, m, order, Eviction::Belady);
+  EXPECT_TRUE(game.complete());
+
+  // Lower bound from the daap engine (Lemma 2 with the accumulator-chain
+  // cDAG): any valid pebbling must move at least that much.
+  const double bound =
+      daap::solve_program(daap::matmul(n), m).q_sequential;
+  EXPECT_GE(static_cast<double>(game.io_count()), 0.99 * bound -
+            2.0 * n * n);  // modulo boundary terms at tiny sizes
+}
+
+INSTANTIATE_TEST_SUITE_P(Memories, ExecutorSweep,
+                         ::testing::Values(8, 16, 32, 64, 128));
+
+TEST(Executor, TiledBeatsRowMajorUnderTightMemory) {
+  const int n = 12, m = 27;
+  const BuiltDag built = mmm_cdag(n);
+  const auto tiled = execute_schedule(
+      built.dag, m, tiled_mmm_order(n, mmm_tile_for_memory(m)),
+      Eviction::Belady);
+  const auto naive = execute_schedule(built.dag, m, rowmajor_mmm_order(n),
+                                      Eviction::Lru);
+  EXPECT_LT(tiled.io_count(), naive.io_count());
+}
+
+TEST(Executor, TiledWithinConstantOfBound) {
+  const int n = 16, m = 48;
+  const BuiltDag built = mmm_cdag(n);
+  const auto game = execute_schedule(
+      built.dag, m, tiled_mmm_order(n, mmm_tile_for_memory(m)),
+      Eviction::Belady);
+  const double bound = daap::solve_program(daap::matmul(n), m).q_sequential;
+  EXPECT_LT(static_cast<double>(game.io_count()), 6.0 * bound);
+}
+
+TEST(Executor, BeladyNoWorseThanLru) {
+  const int n = 10, m = 20;
+  const BuiltDag built = mmm_cdag(n);
+  const auto order = rowmajor_mmm_order(n);
+  const auto lru = execute_schedule(built.dag, m, order, Eviction::Lru);
+  const auto belady = execute_schedule(built.dag, m, order, Eviction::Belady);
+  EXPECT_LE(belady.io_count(), lru.io_count());
+}
+
+TEST(Executor, LuNaturalOrderCompletes) {
+  for (int n : {4, 6, 8}) {
+    const BuiltDag built = lu_cdag(n);
+    const auto game = execute_schedule(built.dag, 16, natural_order(built.dag),
+                                       Eviction::Belady);
+    EXPECT_TRUE(game.complete());
+    const double bound =
+        daap::solve_program(daap::lu_factorization(n), 16).q_sequential;
+    EXPECT_GE(static_cast<double>(game.io_count()) + 2.0 * n * n, bound);
+  }
+}
+
+TEST(Executor, MoreMemoryNeverHurts) {
+  const int n = 12;
+  const BuiltDag built = mmm_cdag(n);
+  std::uint64_t prev = UINT64_MAX;
+  for (int m : {12, 27, 48, 108, 300}) {
+    const auto game = execute_schedule(
+        built.dag, m, tiled_mmm_order(n, mmm_tile_for_memory(m)),
+        Eviction::Belady);
+    EXPECT_LE(game.io_count(), prev);
+    prev = game.io_count();
+  }
+}
+
+TEST(XPartition, MinSetAndBoundaryDominator) {
+  const BuiltDag built = mmm_cdag(2);
+  // V_h: the two partial products of C(0,0): ids 8 (k=0) and 9 (k=1).
+  const std::vector<int> vh = {8, 9};
+  const auto mins = min_set(built.dag, vh);
+  ASSERT_EQ(mins.size(), 1u);
+  EXPECT_EQ(mins[0], 9);
+  const auto dom = boundary_dominator(built.dag, vh);
+  EXPECT_EQ(dom.size(), 4u);  // A(0,0),B(0,0),A(0,1),B(1,0)
+  EXPECT_TRUE(is_dominator(built.dag, vh, dom));
+}
+
+TEST(XPartition, NonDominatorDetected) {
+  const BuiltDag built = mmm_cdag(2);
+  const std::vector<int> vh = {8, 9};
+  EXPECT_FALSE(is_dominator(built.dag, vh, {0}));   // single input
+  EXPECT_FALSE(is_dominator(built.dag, vh, {}));    // empty set
+  EXPECT_TRUE(is_dominator(built.dag, vh, vh));     // V_h dominates itself
+}
+
+TEST(XPartition, ValidatePartitionProperties) {
+  const int n = 4;
+  const BuiltDag built = mmm_cdag(n);
+  // One part per (i, j) accumulator chain: a valid X-partition for
+  // X >= 2n + 1 (2n inputs + the incoming accumulator... here none).
+  std::vector<std::vector<int>> parts;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      std::vector<int> chain;
+      for (int k = 0; k < n; ++k)
+        chain.push_back(2 * n * n + (i * n + j) * n + k);
+      parts.push_back(chain);
+    }
+  const auto check = validate_xpartition(built.dag, parts, 2 * n + 1);
+  EXPECT_TRUE(check.valid());
+  // Too-small X must fail the size condition.
+  EXPECT_FALSE(validate_xpartition(built.dag, parts, n).within_x);
+}
+
+TEST(XPartition, DetectsOverlapAndGaps) {
+  const BuiltDag built = inner_product_cdag(3);
+  const auto computes = natural_order(built.dag);
+  std::vector<std::vector<int>> overlap = {computes, {computes[0]}};
+  EXPECT_FALSE(validate_xpartition(built.dag, overlap, 100).disjoint);
+  std::vector<std::vector<int>> gap = {{computes[0]}};
+  EXPECT_FALSE(validate_xpartition(built.dag, gap, 100).covers_all);
+}
+
+TEST(XPartition, PartitionFromOrderIsValid) {
+  const int n = 6, m = 8, x = 24;
+  const BuiltDag built = mmm_cdag(n);
+  const auto order = tiled_mmm_order(n, 2);
+  const auto parts = partition_from_order(built.dag, order, x, m);
+  EXPECT_GT(parts.size(), 1u);
+  const auto check = validate_xpartition(built.dag, parts, x + m);
+  EXPECT_TRUE(check.covers_all);
+  EXPECT_TRUE(check.disjoint);
+  EXPECT_TRUE(check.acyclic);
+}
+
+TEST(ParallelGame, HuedRulesEnforced) {
+  const BuiltDag built = inner_product_cdag(2);
+  ParallelPebbleGame game(built.dag, 2, 4);
+  const int input = built.dag.inputs()[0];
+  game.load(0, input);
+  EXPECT_TRUE(game.red(0, input));
+  EXPECT_FALSE(game.red(1, input));
+  // Processor 1 may copy it (remote get) because SOME pebble exists.
+  game.load(1, input);
+  EXPECT_TRUE(game.red(1, input));
+  EXPECT_EQ(game.io_count(0), 1u);
+  EXPECT_EQ(game.io_count(1), 1u);
+  // A vertex with no pebble anywhere cannot be loaded by anyone... first
+  // compute it, then the other processor can fetch it.
+  const int v0 = natural_order(built.dag)[0];
+  EXPECT_THROW(game.load(1, v0), IllegalMove);
+}
+
+TEST(ParallelGame, TwoProcessorMmmSplitsWork) {
+  const int n = 2;
+  const BuiltDag built = mmm_cdag(n);
+  ParallelPebbleGame game(built.dag, 2, 16);
+  // Processor p computes columns j == p.
+  for (int p = 0; p < 2; ++p)
+    for (int i = 0; i < n; ++i) {
+      const int j = p;
+      for (int k = 0; k < n; ++k) {
+        const int a = i * n + k, b = n * n + k * n + j;
+        if (!game.red(p, a)) game.load(p, a);
+        if (!game.red(p, b)) game.load(p, b);
+        game.compute(p, 2 * n * n + (i * n + j) * n + k);
+      }
+      game.store(p, built.final_vertex[i][j]);
+    }
+  EXPECT_TRUE(game.complete());
+  EXPECT_GT(game.io_count(0), 0u);
+  EXPECT_GT(game.io_count(1), 0u);
+  EXPECT_EQ(game.total_io(), game.io_count(0) + game.io_count(1));
+}
+
+}  // namespace
+}  // namespace conflux::pebble

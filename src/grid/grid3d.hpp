@@ -60,8 +60,16 @@ class Grid3D {
   }
 
   [[nodiscard]] std::string to_string() const {
-    return "[" + std::to_string(px_) + " x " + std::to_string(py_) + " x " +
-           std::to_string(c_) + "]";
+    // Built by appending (not operator+ chains): GCC 12's -O3 inliner emits
+    // a spurious -Wrestrict for `"[" + std::to_string(...)`.
+    std::string out = "[";
+    out += std::to_string(px_);
+    out += " x ";
+    out += std::to_string(py_);
+    out += " x ";
+    out += std::to_string(c_);
+    out += "]";
+    return out;
   }
 
   friend bool operator==(const Grid3D&, const Grid3D&) = default;
@@ -90,7 +98,12 @@ class Grid2D {
   [[nodiscard]] int col_of(int rank) const { return rank / pr_; }
 
   [[nodiscard]] std::string to_string() const {
-    return "[" + std::to_string(pr_) + " x " + std::to_string(pc_) + "]";
+    std::string out = "[";
+    out += std::to_string(pr_);
+    out += " x ";
+    out += std::to_string(pc_);
+    out += "]";
+    return out;
   }
 
   friend bool operator==(const Grid2D&, const Grid2D&) = default;

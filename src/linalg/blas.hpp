@@ -1,13 +1,33 @@
 /// \file blas.hpp
 /// BLAS-3-style kernels on views: blocked GEMM and the four TRSM variants
-/// used by blocked/distributed LU. Written for clarity first and reasonable
-/// single-core throughput second (register-tiled inner loops, contiguous
-/// row-major access).
+/// used by blocked/distributed LU.
+///
+/// Two implementations live behind each entry point:
+///  - reference: the original clarity-first single-threaded loops, kept as
+///    the ground truth for testing;
+///  - optimized: cache-blocked, packed, register-tiled kernels that run the
+///    macro loops on the shared thread pool (src/support/thread_pool.hpp).
+///    TRSM is blocked so its bulk flops run through the optimized GEMM.
+///
+/// The active implementation is a process-wide runtime switch: it defaults
+/// to Optimized, can be forced with CONFLUX_BLAS=reference|optimized, and
+/// can be flipped programmatically (tests pin both paths against each
+/// other).
 #pragma once
 
 #include "linalg/matrix.hpp"
 
 namespace conflux::linalg {
+
+/// Which kernel family the public entry points dispatch to.
+enum class BlasImpl { Reference, Optimized };
+
+/// Current implementation. Initialized once from CONFLUX_BLAS
+/// ("reference"/"optimized", default optimized).
+[[nodiscard]] BlasImpl blas_impl();
+
+/// Override the implementation at runtime (tests, A/B benchmarks).
+void set_blas_impl(BlasImpl impl);
 
 /// C := alpha * A * B + beta * C.
 /// Shapes: A is m x k, B is k x n, C is m x n.
@@ -31,5 +51,22 @@ void trsm_left(Triangle tri, Diag diag, ConstMatrixView a, MatrixView b);
 /// Solve X * op(L/U) = B in place (X overwrites B), triangular matrix applied
 /// from the right. Shapes: a is n x n, b is m x n.
 void trsm_right(Triangle tri, Diag diag, ConstMatrixView a, MatrixView b);
+
+/// The reference kernels, always callable directly regardless of the active
+/// switch — the test suite pins the optimized path against these.
+void gemm_reference(double alpha, ConstMatrixView a, ConstMatrixView b,
+                    double beta, MatrixView c);
+void trsm_left_reference(Triangle tri, Diag diag, ConstMatrixView a,
+                         MatrixView b);
+void trsm_right_reference(Triangle tri, Diag diag, ConstMatrixView a,
+                          MatrixView b);
+
+/// The optimized kernels, likewise directly callable (benchmarks).
+void gemm_optimized(double alpha, ConstMatrixView a, ConstMatrixView b,
+                    double beta, MatrixView c);
+void trsm_left_optimized(Triangle tri, Diag diag, ConstMatrixView a,
+                         MatrixView b);
+void trsm_right_optimized(Triangle tri, Diag diag, ConstMatrixView a,
+                          MatrixView b);
 
 }  // namespace conflux::linalg

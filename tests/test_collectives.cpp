@@ -133,9 +133,10 @@ TEST_P(CollectiveP, GatherCollectsInGroupOrder) {
       for (int r = 0; r < p; ++r) {
         ASSERT_EQ(parts[static_cast<std::size_t>(r)].size(),
                   static_cast<std::size_t>(r + 1));
-        if (r > 0)
+        if (r > 0) {
           EXPECT_EQ(parts[static_cast<std::size_t>(r)][0],
                     static_cast<double>(r));
+        }
       }
     } else {
       EXPECT_TRUE(parts.empty());
@@ -152,7 +153,9 @@ TEST_P(CollectiveP, BarrierSynchronizesWithZeroBytes) {
     barrier(comm, g, make_tag(6, 1));
   });
   EXPECT_EQ(net.stats().total().bytes_sent, 0u);
-  if (p > 1) EXPECT_GT(net.stats().total().messages_sent, 0u);
+  if (p > 1) {
+    EXPECT_GT(net.stats().total().messages_sent, 0u);
+  }
 }
 
 TEST_P(CollectiveP, BcastIntsDelivers) {

@@ -154,6 +154,32 @@ TEST(Bounds, GrowWithProblemAndShrinkWithMemory) {
   EXPECT_NEAR(q_small / q_more_mem, 2.0, 0.1);
 }
 
+TEST(ClosedForms, LuSequentialTracksSolverOnSmallInstances) {
+  // Regression pin: the closed form in kernels.cpp must keep tracking the
+  // generic bound_solver output (both sides have changed independently
+  // before; this catches either drifting).
+  for (double n : {128.0, 256.0}) {
+    for (double m : {64.0, 256.0}) {
+      const ProgramBound bound = solve_program(lu_factorization(n), m);
+      const double want = lu_bound_sequential(n, m);
+      EXPECT_NEAR(bound.q_sequential, want, 0.03 * want)
+          << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(ClosedForms, LuParallelTracksSolverOnSmallInstances) {
+  for (double n : {128.0, 256.0}) {
+    const double m = 128.0;
+    for (double p : {4.0, 64.0}) {
+      const ProgramBound bound = solve_program(lu_factorization(n), m, p);
+      const double want = lu_bound_parallel(n, m, p);
+      EXPECT_NEAR(bound.q_parallel, want, 0.03 * want)
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
 TEST(Bounds, LuParallelClosedFormMatchesPaperStatement) {
   // Q >= 2N^3/(3 P sqrt M) + N(N-1)/(2P) — §6's final display.
   const double n = 16384, m = 2.68e6, p = 1024;

@@ -28,8 +28,8 @@ TEST(Grid3D, RankCoordRoundTrip) {
 
 TEST(Grid3D, RejectsOutOfRange) {
   const Grid3D g(2, 2, 2);
-  EXPECT_THROW(g.rank_of({2, 0, 0}), ContractViolation);
-  EXPECT_THROW(g.coord_of(8), ContractViolation);
+  EXPECT_THROW((void)g.rank_of({2, 0, 0}), ContractViolation);
+  EXPECT_THROW((void)g.coord_of(8), ContractViolation);
   EXPECT_THROW(Grid3D(0, 1, 1), ContractViolation);
 }
 

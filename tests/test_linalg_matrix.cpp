@@ -63,8 +63,8 @@ TEST(View, NestedBlocks) {
 
 TEST(View, BlockOutOfRangeThrows) {
   Matrix a(3, 3);
-  EXPECT_THROW(a.block(1, 1, 3, 1), ContractViolation);
-  EXPECT_THROW(a.block(-1, 0, 1, 1), ContractViolation);
+  EXPECT_THROW((void)a.block(1, 1, 3, 1), ContractViolation);
+  EXPECT_THROW((void)a.block(-1, 0, 1, 1), ContractViolation);
 }
 
 TEST(View, ConstViewFromMutable) {

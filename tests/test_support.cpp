@@ -1,14 +1,18 @@
 // Tests for the support substrate: contracts, PRNG, formatting, env knobs.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "support/assert.hpp"
 #include "support/env.hpp"
 #include "support/random.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace conflux {
@@ -130,10 +134,58 @@ TEST(Env, ReadsValues) {
   ::unsetenv("CONFLUX_TEST_VAR");
 }
 
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  support::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](int i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndSingleRangesWork) {
+  support::ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(7, 8, [&](int i) {
+    EXPECT_EQ(i, 7);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  support::ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 6, [&](int) {
+    // Must not deadlock: nested calls execute on the calling worker.
+    pool.parallel_for(0, 10, [&](int) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 60);
+}
+
+TEST(ThreadPool, PropagatesBodyException) {
+  support::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](int i) {
+                                   if (i == 37) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SizeOnePoolSpawnsNoThreadsAndStillRuns) {
+  support::ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  int sum = 0;
+  pool.parallel_for(0, 10, [&](int i) { sum += i; });
+  EXPECT_EQ(sum, 45);
+}
+
 TEST(Stopwatch, MeasuresForwardTime) {
   Stopwatch w;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(w.seconds(), 0.0);
   EXPECT_GE(w.millis(), w.seconds() * 1000 - 1e-6);
 }

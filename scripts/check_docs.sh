@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Documentation lint, run by the CI "docs" job (and locally via
+# `scripts/check_docs.sh`). Two invariants:
+#
+#  1. Every header under src/ opens with a `/// \file` doc comment (the
+#     house style of conflux25d.hpp/spmd.hpp).
+#  2. Every intra-repo Markdown link resolves to an existing file.
+#     External links (http/https/mailto) and pure #anchors are ignored;
+#     `path#anchor` links are checked for the path part only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+fail=0
+
+# --- 1: header doc comments -------------------------------------------------
+while IFS= read -r hpp; do
+  if ! head -n1 "$hpp" | grep -q '^/// \\file'; then
+    echo "error: $hpp does not start with a '/// \\file' doc comment" >&2
+    fail=1
+  fi
+done < <(find src -name '*.hpp' | sort)
+
+# --- 2: intra-repo markdown links -------------------------------------------
+while IFS= read -r md; do
+  dir=$(dirname "$md")
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "error: $md links to missing file '$target'" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done < <(find . -name build -prune -o -name '*.md' -print | sort)
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs lint OK: all src headers carry \\file comments, all intra-repo links resolve"
+fi
+exit "$fail"

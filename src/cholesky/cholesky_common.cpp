@@ -1,0 +1,24 @@
+#include "cholesky/cholesky_common.hpp"
+
+#include "cholesky/confchox25d.hpp"
+#include "cholesky/scalapack2d_chol.hpp"
+#include "support/assert.hpp"
+
+namespace conflux::cholesky {
+
+std::unique_ptr<CholeskyAlgorithm> make_cholesky_algorithm(
+    const std::string& name) {
+  if (name == "COnfCHOX") return std::make_unique<Confchox25D>();
+  if (name == "ScaLAPACK") return std::make_unique<Scalapack2DCholesky>();
+  CONFLUX_EXPECTS_MSG(false, "unknown Cholesky algorithm '" << name << "'");
+  return nullptr;  // unreachable
+}
+
+std::vector<std::unique_ptr<CholeskyAlgorithm>> all_cholesky_algorithms() {
+  std::vector<std::unique_ptr<CholeskyAlgorithm>> algos;
+  algos.push_back(make_cholesky_algorithm("ScaLAPACK"));
+  algos.push_back(make_cholesky_algorithm("COnfCHOX"));
+  return algos;
+}
+
+}  // namespace conflux::cholesky

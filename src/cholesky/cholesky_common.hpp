@@ -1,0 +1,70 @@
+/// \file cholesky_common.hpp
+/// Configuration, result and interface types for the distributed Cholesky
+/// implementations — the second factorization family of the journal
+/// extension ("Near-Optimal Matrix Factorizations", arXiv:2108.09337):
+/// COnfCHOX (2.5D, communication-avoiding) and a ScaLAPACK-style 2D
+/// block-cyclic baseline (pdpotrf).
+///
+/// The family-neutral parts — problem shape, Numeric/DryRun duality, 2.5D
+/// ablation knobs, CommVolume reporting — are the shared types of
+/// factor/factorization.hpp, exactly as for LU (lu/lu_common.hpp). Cholesky
+/// needs no pivoting, so its communication schedule is fully deterministic:
+/// DryRun and Numeric runs produce bit-identical volumes (the volume tests
+/// assert equality, not a tolerance band).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "factor/factorization.hpp"
+#include "linalg/matrix.hpp"
+
+namespace conflux::cholesky {
+
+/// Numeric-vs-DryRun execution mode, shared across factorization families.
+using factor::Mode;
+
+/// A distributed-Cholesky problem configuration. All fields are inherited
+/// from the family-neutral FactorConfig (factor/factorization.hpp); the
+/// `seed` field is unused here (no synthetic pivots to draw).
+struct CholConfig : factor::FactorConfig {
+  /// Copy of this configuration with a different execution mode.
+  [[nodiscard]] CholConfig with_mode(Mode m) const {
+    CholConfig copy = *this;
+    copy.mode = m;
+    return copy;
+  }
+};
+
+/// Result of one Cholesky factorization run. The communication metrics,
+/// grid description, residual and wall time are the shared FactorResult
+/// fields. `factors`, when kept, holds the lower-triangular L (zeros above
+/// the diagonal) with L * L^T = A; there is no permutation.
+struct CholResult : factor::FactorResult {
+  /// False when a non-positive pivot showed the input was not positive
+  /// definite (numeric mode only); the factors/residual are then
+  /// meaningless.
+  bool spd = true;
+};
+
+/// Interface implemented by both Cholesky algorithms.
+class CholeskyAlgorithm : public factor::Factorization {
+ public:
+  /// Factor the SPD matrix `a` (lower triangle read) under `cfg`. In
+  /// DryRun mode `a` may be null. In Numeric mode with cfg.verify, the
+  /// result carries the scaled residual max|L L^T - A| / (N max|A|).
+  [[nodiscard]] virtual CholResult run(const linalg::Matrix* a,
+                                       const CholConfig& cfg) = 0;
+};
+
+/// Instantiate an algorithm by name: "COnfCHOX" or "ScaLAPACK". Throws
+/// ContractViolation for unknown names.
+[[nodiscard]] std::unique_ptr<CholeskyAlgorithm> make_cholesky_algorithm(
+    const std::string& name);
+
+/// Both algorithms, baseline first (ScaLAPACK, COnfCHOX).
+[[nodiscard]] std::vector<std::unique_ptr<CholeskyAlgorithm>>
+all_cholesky_algorithms();
+
+}  // namespace conflux::cholesky

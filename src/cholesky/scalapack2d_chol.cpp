@@ -1,0 +1,268 @@
+#include "cholesky/scalapack2d_chol.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "grid/block_cyclic.hpp"
+#include "grid/grid_opt.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/potrf.hpp"
+#include "simnet/collectives.hpp"
+#include "simnet/spmd.hpp"
+#include "support/timer.hpp"
+
+namespace conflux::cholesky {
+
+namespace {
+
+using grid::BlockCyclic1D;
+using grid::Grid2D;
+using linalg::Matrix;
+using simnet::Comm;
+using simnet::Group;
+using simnet::make_tag;
+using simnet::Tag;
+
+/// Per-rank view of the 2D block-cyclic decomposition (the same local
+/// bookkeeping as the LU baseline in lu/scalapack2d.cpp).
+struct Local2D {
+  int pr = 0, pc = 0;
+  BlockCyclic1D rowmap{1, 1, 1};
+  BlockCyclic1D colmap{1, 1, 1};
+  std::vector<int> my_rows;  ///< owned global rows, ascending
+  std::vector<int> my_cols;  ///< owned global cols, ascending
+  Matrix loc;                ///< numeric local block (my_rows x my_cols)
+
+  [[nodiscard]] int lrow(int g) const { return rowmap.local_of(g); }
+  [[nodiscard]] int lcol(int g) const { return colmap.local_of(g); }
+
+  /// First local row/col index whose global index is >= g.
+  [[nodiscard]] int lrow_lower_bound(int g) const {
+    return static_cast<int>(
+        std::lower_bound(my_rows.begin(), my_rows.end(), g) -
+        my_rows.begin());
+  }
+  [[nodiscard]] int lcol_lower_bound(int g) const {
+    return static_cast<int>(
+        std::lower_bound(my_cols.begin(), my_cols.end(), g) -
+        my_cols.begin());
+  }
+};
+
+struct BodyParams {
+  int n = 0;
+  int nb = 0;
+  Grid2D g{1, 1};
+  bool numeric = true;
+  const Matrix* a = nullptr;
+  Matrix* gathered = nullptr;  ///< out-of-band factor collection (verify)
+  std::atomic<bool>* not_spd = nullptr;
+};
+
+void cholesky2d_body(Comm& comm, const BodyParams& params) {
+  const int n = params.n;
+  const int nb = params.nb;
+  const Grid2D& g = params.g;
+  const bool numeric = params.numeric;
+  CONFLUX_EXPECTS(n % nb == 0);
+
+  Local2D me;
+  me.pr = g.row_of(comm.rank());
+  me.pc = g.col_of(comm.rank());
+  me.rowmap = BlockCyclic1D(n, nb, g.rows());
+  me.colmap = BlockCyclic1D(n, nb, g.cols());
+  me.my_rows = me.rowmap.indices_of_owner(me.pr);
+  me.my_cols = me.colmap.indices_of_owner(me.pc);
+  if (numeric) {
+    me.loc = Matrix(static_cast<int>(me.my_rows.size()),
+                    static_cast<int>(me.my_cols.size()));
+    for (std::size_t i = 0; i < me.my_rows.size(); ++i)
+      for (std::size_t j = 0; j < me.my_cols.size(); ++j)
+        if (me.my_rows[i] >= me.my_cols[j])  // lower triangle only
+          me.loc(static_cast<int>(i), static_cast<int>(j)) =
+              (*params.a)(me.my_rows[i], me.my_cols[j]);
+  }
+
+  auto col_group = [&](int pc) {
+    Group grp;
+    for (int pr = 0; pr < g.rows(); ++pr) grp.ranks.push_back(g.rank_of(pr, pc));
+    return grp;
+  };
+  auto row_group = [&](int pr) {
+    Group grp;
+    for (int pc = 0; pc < g.cols(); ++pc) grp.ranks.push_back(g.rank_of(pr, pc));
+    return grp;
+  };
+
+  const int steps = n / nb;
+  for (int s = 0; s < steps; ++s) {
+    const int k0 = s * nb;
+    const int pck = me.colmap.owner_of(k0);
+    const int prk = me.rowmap.owner_of(k0);
+    const std::uint32_t ts = static_cast<std::uint32_t>(s);
+
+    // ---- Diagonal block: factor and broadcast L00 down the column -------
+    Matrix l00(nb, nb);
+    if (me.pc == pck) {
+      const Group cg = col_group(pck);
+      if (numeric) {
+        std::vector<double> buf(static_cast<std::size_t>(nb) * nb, 0.0);
+        if (me.pr == prk) {
+          linalg::MatrixView a00 =
+              me.loc.block(me.lrow(k0), me.lcol(k0), nb, nb);
+          if (linalg::potrf_unblocked(a00) != linalg::FactorStatus::Ok)
+            params.not_spd->store(true, std::memory_order_relaxed);
+          for (int i = 0; i < nb; ++i)
+            for (int j = 0; j <= i; ++j)
+              buf[static_cast<std::size_t>(i) * nb + j] = a00(i, j);
+        }
+        simnet::bcast(comm, cg, prk, buf, make_tag(20, ts, 0));
+        std::copy(buf.begin(), buf.end(), l00.data());
+      } else {
+        (void)simnet::bcast_ghost(comm, cg, prk,
+                                  static_cast<std::size_t>(nb) * nb * 8,
+                                  make_tag(20, ts, 0));
+      }
+    }
+
+    // ---- Panel solve: L10 := A10 * L00^{-T} on the panel column ---------
+    const int mrow0 = me.lrow_lower_bound(k0 + nb);
+    const int mtrail = static_cast<int>(me.my_rows.size()) - mrow0;
+    if (numeric && me.pc == pck && mtrail > 0)
+      linalg::trsm_right_lower_transposed(
+          l00.view(), me.loc.block(mrow0, me.lcol(k0), mtrail, nb));
+
+    // ---- Broadcast the L panel along process rows -----------------------
+    Matrix lpanel;  // mtrail x nb, rows ascending global (>= k0 + nb)
+    {
+      const Group rg = row_group(me.pr);
+      const Tag tag = make_tag(24, ts, 0);
+      if (numeric) {
+        std::vector<double> buf(static_cast<std::size_t>(mtrail) * nb);
+        if (me.pc == pck)
+          for (int il = 0; il < mtrail; ++il)
+            for (int q = 0; q < nb; ++q)
+              buf[static_cast<std::size_t>(il) * nb + q] =
+                  me.loc(mrow0 + il, me.lcol(k0) + q);
+        simnet::bcast(comm, rg, pck, buf, tag);
+        lpanel = Matrix(mtrail, nb);
+        std::copy(buf.begin(), buf.end(), lpanel.data());
+      } else {
+        (void)simnet::bcast_ghost(
+            comm, rg, pck, static_cast<std::size_t>(mtrail) * nb * 8, tag);
+      }
+    }
+
+    // ---- Transpose: re-broadcast rows into their process columns --------
+    // Rank (pr, pc) now holds the L10 rows owned by pr. Each trailing
+    // column c2 of process column pc needs row c2 of L10; its holder
+    // within the column group is process row rowmap.owner_of(c2). One
+    // broadcast per contributing process row (pdpotrf's transpose step).
+    const int ncol0 = me.lcol_lower_bound(k0 + nb);
+    const int ntrail = static_cast<int>(me.my_cols.size()) - ncol0;
+    Matrix colpanel;  // nb x ntrail: colpanel(k, jc) = L10(col_jc, k)
+    if (numeric && ntrail > 0) colpanel = Matrix(nb, ntrail);
+    {
+      const Group cg = col_group(me.pc);
+      for (int pr = 0; pr < g.rows(); ++pr) {
+        // Trailing columns of this process column whose L10 row lives on
+        // process row pr — identical index arithmetic on every rank.
+        std::vector<int> rows_pr;
+        for (std::size_t jc = static_cast<std::size_t>(ncol0);
+             jc < me.my_cols.size(); ++jc) {
+          const int c2 = me.my_cols[jc];
+          if (me.rowmap.owner_of(c2) == pr) rows_pr.push_back(c2);
+        }
+        if (rows_pr.empty()) continue;
+        const Tag tag = make_tag(25, ts, static_cast<std::uint32_t>(pr));
+        if (numeric) {
+          std::vector<double> buf(rows_pr.size() *
+                                  static_cast<std::size_t>(nb));
+          if (me.pr == pr) {
+            std::size_t off = 0;
+            for (int c2 : rows_pr) {
+              const int il = me.lrow(c2) - mrow0;
+              auto row = lpanel.row(il);
+              for (int q = 0; q < nb; ++q) buf[off++] = row[q];
+            }
+          }
+          simnet::bcast(comm, cg, pr, buf, tag);
+          std::size_t off = 0;
+          for (int c2 : rows_pr) {
+            const int jc = me.lcol(c2) - ncol0;
+            for (int q = 0; q < nb; ++q) colpanel(q, jc) = buf[off++];
+          }
+        } else {
+          (void)simnet::bcast_ghost(
+              comm, cg, pr, rows_pr.size() * static_cast<std::size_t>(nb) * 8,
+              tag);
+        }
+      }
+    }
+
+    // ---- Local trailing update A11 -= L10 * L10^T -----------------------
+    if (numeric && mtrail > 0 && ntrail > 0)
+      linalg::schur_update(me.loc.block(mrow0, ncol0, mtrail, ntrail),
+                           lpanel.view(), colpanel.view());
+  }
+
+  // ---- Out-of-band result collection (not part of measured volume) -----
+  if (numeric && params.gathered != nullptr) {
+    for (std::size_t i = 0; i < me.my_rows.size(); ++i)
+      for (std::size_t j = 0; j < me.my_cols.size(); ++j)
+        if (me.my_rows[i] >= me.my_cols[j])
+          (*params.gathered)(me.my_rows[i], me.my_cols[j]) =
+              me.loc(static_cast<int>(i), static_cast<int>(j));
+  }
+}
+
+}  // namespace
+
+CholResult Scalapack2DCholesky::run(const linalg::Matrix* a,
+                                    const CholConfig& cfg) {
+  CONFLUX_EXPECTS(cfg.n >= 1 && cfg.p >= 1);
+  CONFLUX_EXPECTS(cfg.mode == Mode::DryRun || a != nullptr);
+
+  const Grid2D g = grid::choose_grid_2d_all_ranks(cfg.p);
+  const int nb =
+      grid::choose_block_size(cfg.n, 1, cfg.block > 0 ? cfg.block : 64);
+
+  BodyParams params;
+  params.n = cfg.n;
+  params.nb = nb;
+  params.g = g;
+  params.numeric = (cfg.mode == Mode::Numeric);
+  params.a = a;
+  std::atomic<bool> not_spd{false};
+  params.not_spd = &not_spd;
+
+  Matrix gathered;
+  const bool gather = params.numeric && (cfg.verify || cfg.keep_factors);
+  if (gather) {
+    gathered = Matrix(cfg.n, cfg.n);
+    params.gathered = &gathered;
+  }
+
+  simnet::Network net(g.active());
+  Stopwatch timer;
+  simnet::run_spmd(net,
+                   [&](simnet::Comm& comm) { cholesky2d_body(comm, params); });
+
+  CholResult result;
+  result.seconds = timer.seconds();
+  factor::fill_comm_stats(result, net, g.active(), cfg.p);
+  result.grid = g.to_string();
+  result.block = nb;
+  result.spd = !not_spd.load(std::memory_order_relaxed);
+  if (gather) {
+    if (cfg.verify)
+      result.residual = linalg::cholesky_residual(*a, gathered.view());
+    if (cfg.keep_factors)
+      result.factors = std::make_shared<Matrix>(
+          linalg::extract_lower(gathered.view()));
+  }
+  return result;
+}
+
+}  // namespace conflux::cholesky

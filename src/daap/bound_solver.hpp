@@ -15,6 +15,11 @@
 ///     reuse (Lemma 8 / Corollary 1: a produced input's access-size term is
 ///     weakened by the producer's computational intensity).
 ///  4. Parallel bound: Q_p >= |V| / (P rho) (Lemma 9).
+///
+/// The solver is numeric but exact for the paper's kernels: test_daap pins
+/// it against every closed form (MMM, LU §6, the §4 reuse examples, and
+/// the journal extension's Cholesky bound in daap/kernels.hpp) to within
+/// the direction-search tolerance (< 2%).
 #pragma once
 
 #include <optional>

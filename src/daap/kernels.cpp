@@ -141,4 +141,13 @@ double mmm_bound_sequential(double n, double m) {
   return 2.0 * n * n * n / std::sqrt(m);
 }
 
+double cholesky_bound_sequential(double n, double m) {
+  // Q_S3 = |V_S3| / rho = (n^3/6) / (sqrt(M)/2); Q_S2 = n(n-1)/2 at rho = 1.
+  return n * n * n / (3.0 * std::sqrt(m)) + n * (n - 1.0) / 2.0;
+}
+
+double cholesky_bound_parallel(double n, double m, double p) {
+  return cholesky_bound_sequential(n, m) / p;
+}
+
 }  // namespace conflux::daap

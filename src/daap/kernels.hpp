@@ -6,7 +6,9 @@
 ///   - LU S2 (Schur update): rho = sqrt(M)/2, Q >= (2N^3-6N^2+4N)/(3 sqrt M)
 ///   - §4.1 example (two products sharing B): Q_tot = N^3/M after reuse
 ///   - §4.2 example (produced A, "modified MMM"): Q_tot >= N^3/M
-///   - Cholesky (extension, §11 future work)
+///   - Cholesky (journal extension, arXiv:2108.09337): rho_S2 = 1,
+///     rho_S3 = sqrt(M)/2, Q >= N^3/(3 sqrt M) — the bound COnfCHOX
+///     (cholesky/confchox25d.hpp) is measured against
 #pragma once
 
 #include "daap/program.hpp"
@@ -31,8 +33,10 @@ namespace conflux::daap {
 /// inputs (rho_S -> inf), T: C[i,j] += A[i,k]*B[k,j]. Q_tot >= N^3/M.
 [[nodiscard]] Program section42_generated_a(double n);
 
-/// Cholesky factorization (extension): S1: A[j,j] = sqrt(A[j,j]);
-/// S2: A[i,j] /= A[j,j]; S3: A[i,k] -= A[i,j]*A[k,j].
+/// Cholesky factorization (journal extension): S1: A[j,j] = sqrt(A[j,j]);
+/// S2: A[i,j] /= A[j,j]; S3: A[i,k] -= A[i,j]*A[k,j]. S1's domain is
+/// linear (no I/O contribution); S2/S3 mirror LU's S1/S2 on the halved
+/// triangular update domain ~N^3/6.
 [[nodiscard]] Program cholesky(double n);
 
 /// Closed forms for the LU lower bound of §6:
@@ -43,5 +47,16 @@ namespace conflux::daap {
 
 /// Closed form for MMM (validated against [42]): 2N^3/sqrt(M).
 [[nodiscard]] double mmm_bound_sequential(double n, double m);
+
+/// Closed forms for the Cholesky lower bound (the COnfCHOX analysis of the
+/// journal extension, arXiv:2108.09337), mirrored from the LU derivation:
+/// S3 has the MMM-like intensity sqrt(M)/2 on its ~N^3/6 triangular
+/// domain, and S2's out-degree-one inputs cap its intensity at 1
+/// (Lemma 6), giving
+///   sequential: N^3/(3 sqrt M) + N(N-1)/2;
+///   parallel (Lemma 9): the sequential bound divided by P.
+/// test_daap pins these against the generic solver, like the LU pair.
+[[nodiscard]] double cholesky_bound_sequential(double n, double m);
+[[nodiscard]] double cholesky_bound_parallel(double n, double m, double p);
 
 }  // namespace conflux::daap

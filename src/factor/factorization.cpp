@@ -1,0 +1,15 @@
+#include "factor/factorization.hpp"
+
+#include "simnet/network.hpp"
+
+namespace conflux::factor {
+
+void fill_comm_stats(FactorResult& result, const simnet::Network& net,
+                     int ranks_used, int ranks_available) {
+  result.total = net.stats().total();
+  result.max_rank_bytes = net.stats().max_rank_bytes();
+  result.ranks_used = ranks_used;
+  result.ranks_available = ranks_available;
+}
+
+}  // namespace conflux::factor

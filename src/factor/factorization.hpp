@@ -1,0 +1,110 @@
+/// \file factorization.hpp
+/// The shared configuration/result/interface layer for the distributed
+/// factorization families:
+///   - LU (src/lu): COnfLUX and the three §8 comparison targets;
+///   - Cholesky (src/cholesky): COnfCHOX and the ScaLAPACK-style 2D
+///     baseline of the journal extension (arXiv:2108.09337).
+///
+/// Both families run on the same simnet SPMD fabric, report the same
+/// CommVolume metrics (the paper's Score-P byte counts), support the same
+/// Numeric/DryRun duality, and share the 2.5D ablation knobs. Everything a
+/// factorization result has in common — grid, block size, per-rank volume,
+/// residual, wall time — lives here; family-specific extras (LU's pivot
+/// growth and permutation, Cholesky's L factor semantics) live in the
+/// derived LuResult/CholResult types.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "simnet/stats.hpp"
+
+namespace conflux::simnet {
+class Network;
+}  // namespace conflux::simnet
+
+namespace conflux::factor {
+
+/// Execution mode.
+/// - Numeric: factor real data, record the factors, verify the residual.
+/// - DryRun: execute the identical communication schedule with ghost
+///   payloads (and, for pivoted algorithms, synthetic hash-spread pivots).
+///   Message sizes in every algorithm depend only on index sets, never on
+///   matrix values, so the measured volume is exact (tests assert
+///   DryRun == Numeric volume; for the pivot-free Cholesky family the two
+///   are bit-identical).
+enum class Mode { Numeric, DryRun };
+
+/// A distributed-factorization problem configuration, shared by every
+/// algorithm in both families.
+struct FactorConfig {
+  int n = 0;       ///< matrix dimension; must be a multiple of the block size
+  int p = 1;       ///< ranks available (nodes in the paper's terminology)
+  int block = 0;   ///< v (2.5D algorithms) or nb (2D); 0 = auto-tune
+  double mem_elements = 0;  ///< per-rank memory budget M in elements;
+                            ///< <= 0 selects the paper's max-replication rule
+                            ///< M = N^2 / P^(2/3)
+  Mode mode = Mode::Numeric;
+  std::uint64_t seed = 42;  ///< synthetic pivot seed (DryRun, LU only)
+
+  // --- ablation knobs (bench_ablation) ------------------------------------
+  bool grid_optimization = true;  ///< 2.5D: search the best [Px,Py,c] grid
+  int force_layers = 0;           ///< force the replication depth c (0 = auto)
+  bool verify = true;             ///< Numeric: assemble factors and check
+  bool keep_factors = false;      ///< Numeric: retain the factors in the
+                                  ///< result (lu/solve.hpp consumes them)
+};
+
+/// The common part of one factorization run's result. Derived result types
+/// add family-specific fields; everything the volume benchmarks and
+/// reporting consume is here.
+struct FactorResult {
+  simnet::CommVolume total;          ///< summed over ranks (Score-P metric)
+  std::uint64_t max_rank_bytes = 0;  ///< busiest rank, sent+received (Fig. 6)
+  int ranks_used = 0;                ///< active ranks (grid may idle some)
+  int ranks_available = 0;           ///< the P the caller asked for
+  std::string grid;                  ///< human-readable grid description
+  int block = 0;                     ///< block size actually used
+  double residual = std::numeric_limits<double>::quiet_NaN();  ///< Numeric
+  double seconds = 0;                ///< wall time of the simulated run
+
+  /// Factors retained by a numeric run with cfg.keep_factors. Packing is
+  /// family-specific: LU stores L below the diagonal and U on/above it in
+  /// permuted row order (see lu/lu_common.hpp); Cholesky stores the lower
+  /// triangular L with zeros above the diagonal.
+  std::shared_ptr<linalg::Matrix> factors;
+
+  /// Total bytes sent over the network — the paper's "communication volume".
+  [[nodiscard]] double total_bytes() const {
+    return static_cast<double>(total.bytes_sent);
+  }
+  /// Average per-available-rank volume (Fig. 6's per-node axis).
+  [[nodiscard]] double bytes_per_rank() const {
+    return total_bytes() / std::max(1, ranks_available);
+  }
+};
+
+/// Root interface of every distributed factorization. The per-family
+/// interfaces (lu::LuAlgorithm, cholesky::CholeskyAlgorithm) extend it with
+/// a typed run() entry point; the base keeps naming and reporting uniform
+/// across families.
+class Factorization {
+ public:
+  virtual ~Factorization() = default;
+
+  /// Name as used in the paper's tables ("COnfLUX", "LibSci", "COnfCHOX",
+  /// ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Populate the common CommVolume fields of `result` from a finished SPMD
+/// run: summed volume, busiest-rank bytes, and the rank accounting. Every
+/// algorithm in both families funnels its result through this helper so the
+/// reported metrics stay directly comparable.
+void fill_comm_stats(FactorResult& result, const simnet::Network& net,
+                     int ranks_used, int ranks_available);
+
+}  // namespace conflux::factor

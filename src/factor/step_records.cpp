@@ -1,11 +1,11 @@
-#include "lu/step_records.hpp"
+#include "factor/step_records.hpp"
 
 #include "linalg/blas.hpp"
 #include "support/assert.hpp"
 
-namespace conflux::lu {
+namespace conflux::factor {
 
-std::vector<StepRecord> make_step_records(int n, int v) {
+std::vector<StepRecord> make_step_records(int n, int v, bool with_a01) {
   CONFLUX_EXPECTS(n % v == 0);
   const int steps = n / v;
   std::vector<StepRecord> records(static_cast<std::size_t>(steps));
@@ -13,7 +13,7 @@ std::vector<StepRecord> make_step_records(int n, int v) {
     rec.pivots.assign(static_cast<std::size_t>(v), -1);
     rec.a00 = linalg::Matrix(v, v);
     rec.a10 = linalg::Matrix(n, v);
-    rec.a01 = linalg::Matrix(v, n);
+    if (with_a01) rec.a01 = linalg::Matrix(v, n);
   }
   return records;
 }
@@ -54,6 +54,23 @@ AssembledFactors assemble_factors(const std::vector<StepRecord>& records,
   return f;
 }
 
+linalg::Matrix assemble_cholesky_factor(const std::vector<StepRecord>& records,
+                                        int n, int v) {
+  CONFLUX_EXPECTS(static_cast<int>(records.size()) == n / v);
+  linalg::Matrix l(n, n);
+  const int steps = n / v;
+  for (int t = 0; t < steps; ++t) {
+    const StepRecord& rec = records[static_cast<std::size_t>(t)];
+    // Diagonal block: the lower triangle of L00.
+    for (int i = 0; i < v; ++i)
+      for (int j = 0; j <= i; ++j) l(t * v + i, t * v + j) = rec.a00(i, j);
+    // Below-panel rows: the solved L10 strip.
+    for (int r = (t + 1) * v; r < n; ++r)
+      for (int k = 0; k < v; ++k) l(r, t * v + k) = rec.a10(r, k);
+  }
+  return l;
+}
+
 double masked_lu_residual(const linalg::Matrix& a, const AssembledFactors& f) {
   const int n = a.rows();
   CONFLUX_EXPECTS(a.cols() == n && f.l.rows() == n);
@@ -79,4 +96,4 @@ double masked_growth_factor(const linalg::Matrix& a,
   return amax == 0.0 ? 0.0 : linalg::max_abs(f.u.view()) / amax;
 }
 
-}  // namespace conflux::lu
+}  // namespace conflux::factor

@@ -16,8 +16,18 @@ double conflux_cost_per_rank(double n, int px, int py, int c) {
   return panel_multicast + lazy_reduction;
 }
 
+double confchox_cost_per_rank(double n, int px, int py, int c) {
+  const double n2 = n * n;
+  const double panel_multicast =
+      n2 / (2.0 * c) * (1.0 / px + 1.0 / py);
+  const double lazy_reduction =
+      n2 * static_cast<double>(c - 1) /
+      (2.0 * static_cast<double>(px) * py * c);
+  return panel_multicast + lazy_reduction;
+}
+
 GridChoice optimize_grid(int p_available, int n, double mem_elements_per_rank,
-                         int max_layers) {
+                         int max_layers, GridCostFn cost_fn) {
   CONFLUX_EXPECTS(p_available >= 1 && n >= 1);
   GridChoice best;
   double best_cost = std::numeric_limits<double>::infinity();
@@ -35,7 +45,7 @@ GridChoice optimize_grid(int p_available, int n, double mem_elements_per_rank,
       if (mem_elements_per_rank > 0.0 &&
           n2 / (static_cast<double>(px) * py) > mem_elements_per_rank)
         continue;
-      const double cost = conflux_cost_per_rank(n, px, py, c);
+      const double cost = cost_fn(n, px, py, c);
       const int active = px * py * c;
       const bool better =
           cost < best_cost * (1.0 - 1e-12) ||
@@ -68,6 +78,10 @@ Grid2D choose_grid_2d_near_square(int p) {
   const int pr = std::max(1, static_cast<int>(std::sqrt(static_cast<double>(p))));
   const int pc = std::max(1, p / pr);
   return {pr, pc};
+}
+
+int default_block_target(int n, int c) {
+  return std::clamp(std::max(4 * c, n / 256), 16, 256);
 }
 
 int choose_block_size(int n, int c, int target) {

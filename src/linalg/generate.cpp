@@ -34,6 +34,20 @@ Matrix generate(int m, int n, MatrixKind kind, std::uint64_t seed) {
         }
       for (int i = 0; i < std::min(m, n); ++i) a(i, i) += 2.0;
       break;
+    case MatrixKind::Spd:
+      // A = (B + B^T)/2 + n*I for uniform B: symmetric, and positive
+      // definite by Gershgorin (diagonal >= n - 1 > sum of |off-diagonal|).
+      CONFLUX_EXPECTS_MSG(m == n, "SPD matrices must be square");
+      for (int i = 0; i < n; ++i)
+        for (double& x : a.row(i)) x = rng.uniform(-1.0, 1.0);
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < i; ++j) {
+          const double s = 0.5 * (a(i, j) + a(j, i));
+          a(i, j) = a(j, i) = s;
+        }
+        a(i, i) += n;
+      }
+      break;
     case MatrixKind::Laplace2D: {
       // n must be a perfect square for a true stencil; otherwise fall back to
       // a 1D Laplacian. Entries: 4 on diagonal, -1 for grid neighbours.

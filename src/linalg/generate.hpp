@@ -18,6 +18,9 @@ enum class MatrixKind {
   Interaction,    ///< symmetric-ish decaying off-diagonals, mimicking the
                   ///< atom-interaction matrices of DFT applications (§8).
   Laplace2D,      ///< 2D finite-difference Laplacian stencil (sparse-in-dense).
+  Spd,            ///< symmetric positive definite: symmetrized uniform noise
+                  ///< plus n on the diagonal (SPD by Gershgorin; square
+                  ///< only). The input family for the Cholesky algorithms.
 };
 
 /// Generate an m x n matrix of the given kind with a deterministic seed.

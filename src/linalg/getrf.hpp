@@ -12,8 +12,10 @@
 
 namespace conflux::linalg {
 
-/// Result flag for factorizations.
-enum class FactorStatus { Ok, Singular };
+/// Result flag for factorizations. Singular is LU's failure mode (a zero
+/// pivot column); NotSpd is Cholesky's (a non-positive diagonal during
+/// potrf, see linalg/potrf.hpp).
+enum class FactorStatus { Ok, Singular, NotSpd };
 
 /// In-place unblocked LU with partial pivoting on a (possibly tall) m x n
 /// view (m >= n not required; factors min(m, n) columns). On return `a`

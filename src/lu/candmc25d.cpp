@@ -65,10 +65,7 @@ LuResult Candmc25D::run(const linalg::Matrix* a, const LuConfig& cfg) {
 
   LuResult result;
   result.seconds = timer.seconds();
-  result.total = net.stats().total();
-  result.max_rank_bytes = net.stats().max_rank_bytes();
-  result.ranks_used = active;
-  result.ranks_available = cfg.p;
+  factor::fill_comm_stats(result, net, active, cfg.p);
   result.grid = face.to_string() + " x " + std::to_string(c);
   result.block = nb;
   if (verify) {

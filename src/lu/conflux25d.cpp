@@ -7,7 +7,7 @@
 #include "grid/grid_opt.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/panel.hpp"
-#include "lu/step_records.hpp"
+#include "factor/step_records.hpp"
 #include "simnet/collectives.hpp"
 #include "simnet/spmd.hpp"
 #include "support/random.hpp"
@@ -17,6 +17,12 @@ namespace conflux::lu {
 
 namespace {
 
+using factor::assemble_factors;
+using factor::AssembledFactors;
+using factor::make_step_records;
+using factor::masked_growth_factor;
+using factor::masked_lu_residual;
+using factor::StepRecord;
 using grid::chunk_of;
 using grid::chunk_range;
 using grid::Coord3;
@@ -653,15 +659,11 @@ LuResult Conflux25D::run(const linalg::Matrix* a, const LuConfig& cfg) {
     plan.g = grid::optimize_grid(cfg.p, cfg.n, mem).grid;
   }
   plan.active = plan.g.active();
-  // Block size v = a * c for a small constant a (§7.2): big enough for
-  // per-message efficiency, small enough that the per-step A00 broadcast
-  // (v^2 + v to every rank, step 3) stays a lower-order term. The n/256
-  // floor bounds the number of outer steps.
-  const int v_target = std::clamp(
-      std::max(4 * plan.g.layers(), cfg.n / 256), 16, 256);
   plan.v = cfg.block > 0
                ? cfg.block
-               : grid::choose_block_size(cfg.n, plan.g.layers(), v_target);
+               : grid::choose_block_size(
+                     cfg.n, plan.g.layers(),
+                     grid::default_block_target(cfg.n, plan.g.layers()));
   CONFLUX_EXPECTS_MSG(cfg.n % plan.v == 0,
                       "block size " << plan.v << " must divide N=" << cfg.n);
   plan.steps = cfg.n / plan.v;
@@ -749,10 +751,7 @@ LuResult Conflux25D::run(const linalg::Matrix* a, const LuConfig& cfg) {
 
   LuResult result;
   result.seconds = timer.seconds();
-  result.total = net.stats().total();
-  result.max_rank_bytes = net.stats().max_rank_bytes();
-  result.ranks_used = plan.active;
-  result.ranks_available = cfg.p;
+  factor::fill_comm_stats(result, net, plan.active, cfg.p);
   result.grid = plan.g.to_string();
   result.block = plan.v;
   if (want_records) {

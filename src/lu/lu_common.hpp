@@ -1,6 +1,14 @@
 /// \file lu_common.hpp
-/// Shared configuration, result and interface types for the distributed LU
-/// implementations (COnfLUX and the three comparison targets of §8).
+/// Configuration, result and interface types for the distributed LU
+/// implementations (COnfLUX and the three comparison targets of §8:
+/// Cray LibSci, SLATE, CANDMC).
+///
+/// The family-neutral parts — problem shape, Numeric/DryRun duality,
+/// 2.5D ablation knobs, CommVolume reporting — live in
+/// factor/factorization.hpp and are shared with the Cholesky family
+/// (cholesky/cholesky_common.hpp). This header adds the LU-specific pieces:
+/// pivot growth, the packed-factor + permutation contract consumed by
+/// lu/solve.hpp, and the synthetic pivot schedule dry runs replay.
 #pragma once
 
 #include <cstdint>
@@ -9,37 +17,25 @@
 #include <string>
 #include <vector>
 
+#include "factor/factorization.hpp"
 #include "linalg/matrix.hpp"
-#include "simnet/stats.hpp"
 
 namespace conflux::lu {
 
-/// Execution mode.
-/// - Numeric: factor real data, record the factors, verify ||LU - PA||.
-/// - DryRun: execute the identical communication schedule with ghost
-///   payloads and synthetic (hash-spread) pivots. Message sizes in every
-///   algorithm depend only on index sets, never on matrix values, so the
-///   measured volume is exact (tests assert DryRun == Numeric volume).
-enum class Mode { Numeric, DryRun };
+/// Numeric-vs-DryRun execution mode, shared across factorization families.
+/// For LU, DryRun replays the identical communication schedule with ghost
+/// payloads and synthetic (hash-spread) pivots; message sizes depend only
+/// on index sets, so the measured volume matches a numeric run to within
+/// the pivot-placement noise band (tests pin it at a few percent).
+using factor::Mode;
 
-/// A distributed-LU problem configuration.
-struct LuConfig {
-  int n = 0;       ///< matrix dimension; must be a multiple of the block size
-  int p = 1;       ///< ranks available (nodes in the paper's terminology)
-  int block = 0;   ///< v (2.5D algorithms) or nb (2D); 0 = auto-tune
-  double mem_elements = 0;  ///< per-rank memory budget M in elements;
-                            ///< <= 0 selects the paper's max-replication rule
-                            ///< M = N^2 / P^(2/3)
-  Mode mode = Mode::Numeric;
-  std::uint64_t seed = 42;  ///< synthetic pivot seed (DryRun)
-
-  // --- ablation knobs (bench_ablation) ------------------------------------
-  bool grid_optimization = true;  ///< COnfLUX: search the best [Px,Py,c] grid
-  int force_layers = 0;           ///< force the replication depth c (0 = auto)
-  bool verify = true;             ///< Numeric: assemble factors and check
-  bool keep_factors = false;      ///< Numeric: retain packed factors +
-                                  ///< permutation in the result (lu_solve)
-
+/// A distributed-LU problem configuration. All fields are inherited from
+/// the family-neutral FactorConfig; see factor/factorization.hpp for their
+/// meaning (n, p, block, mem_elements, mode, seed, and the ablation knobs
+/// grid_optimization / force_layers / verify / keep_factors).
+struct LuConfig : factor::FactorConfig {
+  /// Copy of this configuration with a different execution mode — the
+  /// idiom tests use to run the same problem numerically and dry.
   [[nodiscard]] LuConfig with_mode(Mode m) const {
     LuConfig copy = *this;
     copy.mode = m;
@@ -47,42 +43,23 @@ struct LuConfig {
   }
 };
 
-/// Result of one factorization run.
-struct LuResult {
-  simnet::CommVolume total;          ///< summed over ranks (Score-P metric)
-  std::uint64_t max_rank_bytes = 0;  ///< busiest rank, sent+received (Fig. 6)
-  int ranks_used = 0;                ///< active ranks (grid may idle some)
-  int ranks_available = 0;           ///< the P the caller asked for
-  std::string grid;                  ///< human-readable grid description
-  int block = 0;                     ///< block size actually used
-  double residual = std::numeric_limits<double>::quiet_NaN();  ///< Numeric
-  double growth = std::numeric_limits<double>::quiet_NaN();    ///< Numeric
-  double seconds = 0;                ///< wall time of the simulated run
+/// Result of one LU factorization run. The communication metrics, grid
+/// description, residual and wall time are the shared FactorResult fields;
+/// LU adds the pivot-growth stability proxy and the row permutation.
+struct LuResult : factor::FactorResult {
+  double growth = std::numeric_limits<double>::quiet_NaN();  ///< Numeric:
+                                                             ///< max|U|/max|A|
 
-  /// Packed factors (L below the diagonal, U on/above) in permuted row
-  /// order, and the row permutation with L*U = A[permutation, :]. Only
+  /// Row permutation accompanying `factors` (the shared FactorResult
+  /// member): the packed matrix holds L below the diagonal and U on/above
+  /// it in permuted row order, with L*U = A[permutation, :]. Only
   /// populated by numeric runs with cfg.keep_factors (see lu/solve.hpp).
-  std::shared_ptr<linalg::Matrix> factors;
   std::vector<int> permutation;
-
-  /// Total bytes sent over the network — the paper's "communication volume".
-  [[nodiscard]] double total_bytes() const {
-    return static_cast<double>(total.bytes_sent);
-  }
-  /// Average per-available-rank volume (Fig. 6's per-node axis).
-  [[nodiscard]] double bytes_per_rank() const {
-    return total_bytes() / std::max(1, ranks_available);
-  }
 };
 
 /// Interface implemented by all four LU algorithms.
-class LuAlgorithm {
+class LuAlgorithm : public factor::Factorization {
  public:
-  virtual ~LuAlgorithm() = default;
-
-  /// Name as used in the paper's tables.
-  [[nodiscard]] virtual std::string name() const = 0;
-
   /// Factor `a` under `cfg`. In DryRun mode `a` may be null. In Numeric
   /// mode with cfg.verify, the result carries the scaled residual
   /// max|LU - PA| / (N max|A|).

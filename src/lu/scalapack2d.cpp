@@ -475,10 +475,7 @@ LuResult ScaLapack2D::run(const linalg::Matrix* a, const LuConfig& cfg) {
 
   LuResult result;
   result.seconds = timer.seconds();
-  result.total = net.stats().total();
-  result.max_rank_bytes = net.stats().max_rank_bytes();
-  result.ranks_used = g.active();
-  result.ranks_available = cfg.p;
+  factor::fill_comm_stats(result, net, g.active(), cfg.p);
   result.grid = g.to_string();
   result.block = nb;
   if (verify) {

@@ -89,9 +89,8 @@ double ConfluxModel::elements_per_rank(const Instance& inst) const {
   const double per_rank = conflux::grid::conflux_cost_per_rank(
       inst.n, g.px_extent(), g.py_extent(), g.layers());
   // Block size: same rule as the implementation (v = a*c, bounded steps).
-  const int v_target =
-      std::clamp(std::max(4 * g.layers(), n / 256), 16, 256);
-  const int v = conflux::grid::choose_block_size(n, g.layers(), v_target);
+  const int v = conflux::grid::choose_block_size(
+      n, g.layers(), conflux::grid::default_block_target(n, g.layers()));
   // Lower-order tails: the per-step A00 + pivot broadcast (v^2 + v to
   // every rank) and the tournament butterfly (participants only, amortized
   // over all ranks).
@@ -113,6 +112,58 @@ double lu_lower_bound_elements_per_rank(const Instance& inst) {
   return 2.0 * inst.n * inst.n * inst.n /
              (3.0 * inst.p * std::sqrt(inst.m_elements)) +
          inst.n * (inst.n - 1.0) / (2.0 * inst.p);
+}
+
+double ConfchoxModel::elements_per_rank(const Instance& inst) const {
+  const int n = static_cast<int>(inst.n);
+  const auto choice = conflux::grid::optimize_grid(
+      static_cast<int>(inst.p), n, inst.m_elements, 0,
+      conflux::grid::confchox_cost_per_rank);
+  const auto& g = choice.grid;
+  const double per_rank = conflux::grid::confchox_cost_per_rank(
+      inst.n, g.px_extent(), g.py_extent(), g.layers());
+  // Block size: same rule as the implementation.
+  const int v = conflux::grid::choose_block_size(
+      n, g.layers(), conflux::grid::default_block_target(n, g.layers()));
+  // Lower-order tail: the per-step L00 broadcast (v^2 to every rank).
+  const double l00_bcast = inst.n * v;
+  return per_rank + l00_bcast;
+}
+
+double ConfchoxModel::leading_elements_per_rank(const Instance& inst) const {
+  CONFLUX_EXPECTS(inst.m_elements > 0);
+  return inst.n * inst.n * inst.n / (inst.p * std::sqrt(inst.m_elements));
+}
+
+double Scalapack2DCholModel::elements_per_rank(const Instance& inst) const {
+  const auto g = conflux::grid::choose_grid_2d_all_ranks(
+      static_cast<int>(inst.p));
+  const double nb = 64.0;
+  // L-panel (along rows) + transposed panel (down columns) broadcasts, plus
+  // the per-step L00 broadcast inside the panel column (amortized).
+  const double broadcasts =
+      inst.n * inst.n / 2.0 * (1.0 / g.rows() + 1.0 / g.cols());
+  const double l00 = inst.n * nb / g.cols();
+  return broadcasts + l00;
+}
+
+double Scalapack2DCholModel::leading_elements_per_rank(
+    const Instance& inst) const {
+  return inst.n * inst.n / std::sqrt(inst.p);
+}
+
+double cholesky_lower_bound_elements_per_rank(const Instance& inst) {
+  CONFLUX_EXPECTS(inst.m_elements > 0);
+  return inst.n * inst.n * inst.n /
+             (3.0 * inst.p * std::sqrt(inst.m_elements)) +
+         inst.n * (inst.n - 1.0) / (2.0 * inst.p);
+}
+
+std::vector<std::unique_ptr<CostModel>> cholesky_models() {
+  std::vector<std::unique_ptr<CostModel>> models;
+  models.push_back(std::make_unique<Scalapack2DCholModel>());
+  models.push_back(std::make_unique<ConfchoxModel>());
+  return models;
 }
 
 std::vector<std::unique_ptr<CostModel>> standard_models() {

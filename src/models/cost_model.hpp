@@ -101,4 +101,37 @@ class ConfluxModel final : public CostModel {
 /// All four models in Table 2 order (LibSci, SLATE, CANDMC, COnfLUX).
 [[nodiscard]] std::vector<std::unique_ptr<CostModel>> standard_models();
 
+// --- Cholesky family (journal extension, arXiv:2108.09337) ----------------
+
+/// COnfCHOX: N^3/(P sqrt M) leading term (same layer-sliced multicasts as
+/// COnfLUX) plus the halved lazy-reduction tail and the L00 broadcast,
+/// evaluated on the grid the implementation itself would pick.
+class ConfchoxModel final : public CostModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "COnfCHOX"; }
+  [[nodiscard]] double elements_per_rank(const Instance& inst) const override;
+  [[nodiscard]] double leading_elements_per_rank(
+      const Instance& inst) const override;
+};
+
+/// ScaLAPACK-style 2D Cholesky (pdpotrf): L-panel and transposed-panel
+/// broadcasts on the greedy all-ranks grid. Leading cost N^2/sqrt(P) per
+/// rank — no replication, so COnfCHOX undercuts it whenever c > 1 fits in
+/// memory.
+class Scalapack2DCholModel final : public CostModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "ScaLAPACK"; }
+  [[nodiscard]] double elements_per_rank(const Instance& inst) const override;
+  [[nodiscard]] double leading_elements_per_rank(
+      const Instance& inst) const override;
+};
+
+/// The Cholesky I/O lower bound (daap/kernels.hpp closed form, per rank):
+/// N^3/(3 P sqrt M) + N(N-1)/(2P) elements.
+[[nodiscard]] double cholesky_lower_bound_elements_per_rank(
+    const Instance& inst);
+
+/// Both Cholesky models, baseline first (ScaLAPACK, COnfCHOX).
+[[nodiscard]] std::vector<std::unique_ptr<CostModel>> cholesky_models();
+
 }  // namespace conflux::models

@@ -85,6 +85,31 @@ TEST(OutputReuse, UnitIntensityProducerChangesNothing) {
               0.01 * without.statements[1].q);
 }
 
+TEST(Cholesky, MatchesClosedForm) {
+  // The COnfCHOX regression twin of LuMatchesSection6: the generic solver
+  // must land on the closed form N^3/(3 sqrt M) + N(N-1)/2 within 2%.
+  for (double m : {256.0, 1024.0, 4096.0}) {
+    const ProgramBound bound = solve_program(cholesky(kN), m);
+    ASSERT_EQ(bound.statements.size(), 2u);
+    // S2 (the column scaling): Lemma 6 caps rho at 1; S3: the MMM-like
+    // intensity sqrt(M)/2 on the triangular update domain.
+    EXPECT_NEAR(bound.statements[0].rho, 1.0, 1e-9);
+    EXPECT_NEAR(bound.statements[1].rho, std::sqrt(m) / 2.0,
+                0.01 * std::sqrt(m));
+    const double want = cholesky_bound_sequential(kN, m);
+    EXPECT_NEAR(bound.q_sequential, want, 0.02 * want);
+  }
+}
+
+TEST(Cholesky, ParallelClosedFormIsLemma9) {
+  const double m = 1024.0;
+  for (double p : {2.0, 64.0, 1024.0}) {
+    const ProgramBound par = solve_program(cholesky(kN), m, p);
+    const double want = cholesky_bound_parallel(kN, m, p);
+    EXPECT_NEAR(par.q_parallel, want, 0.02 * want);
+  }
+}
+
 TEST(Cholesky, BoundIsOneThirdishOfCube) {
   const double m = 1024.0;
   const ProgramBound bound = solve_program(cholesky(kN), m);

@@ -1,0 +1,113 @@
+// Sequential Cholesky (potrf): unblocked vs blocked agreement, residuals on
+// the SPD matrix families, non-SPD detection, and the lower-triangle-only
+// contract that lets the distributed algorithms carry junk above the
+// diagonal.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/generate.hpp"
+#include "linalg/potrf.hpp"
+
+namespace conflux::linalg {
+namespace {
+
+constexpr double kTol = 1e-13;
+
+TEST(PotrfUnblocked, FactorsSpdMatrix) {
+  const Matrix a = generate(64, MatrixKind::Spd, 11);
+  Matrix f = a;
+  EXPECT_EQ(potrf_unblocked(f.view()), FactorStatus::Ok);
+  EXPECT_LT(cholesky_residual(a, f.view()), kTol);
+}
+
+TEST(PotrfUnblocked, FactorsLaplacian) {
+  // The 2D Laplacian is SPD — a structured second family (49 = 7x7 grid).
+  const Matrix a = generate(49, MatrixKind::Laplace2D, 12);
+  Matrix f = a;
+  EXPECT_EQ(potrf_unblocked(f.view()), FactorStatus::Ok);
+  EXPECT_LT(cholesky_residual(a, f.view()), kTol);
+}
+
+TEST(PotrfUnblocked, DiagonalMatrixGivesSqrtDiagonal) {
+  Matrix a(3, 3);
+  a(0, 0) = 4.0;
+  a(1, 1) = 9.0;
+  a(2, 2) = 16.0;
+  EXPECT_EQ(potrf_unblocked(a.view()), FactorStatus::Ok);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(a(2, 2), 4.0);
+}
+
+TEST(PotrfUnblocked, RejectsIndefiniteMatrix) {
+  Matrix a(4, 4);
+  for (int i = 0; i < 4; ++i) a(i, i) = 1.0;
+  a(3, 3) = -1.0;
+  EXPECT_EQ(potrf_unblocked(a.view()), FactorStatus::NotSpd);
+}
+
+TEST(PotrfUnblocked, IgnoresUpperTriangleJunk) {
+  const Matrix a = generate(48, MatrixKind::Spd, 13);
+  Matrix junk = a;
+  for (int i = 0; i < 48; ++i)
+    for (int j = i + 1; j < 48; ++j) junk(i, j) = 1e30;
+  EXPECT_EQ(potrf_unblocked(junk.view()), FactorStatus::Ok);
+  EXPECT_LT(cholesky_residual(a, junk.view()), kTol);
+}
+
+class PotrfBlocked : public ::testing::TestWithParam<int> {};
+
+TEST_P(PotrfBlocked, MatchesUnblocked) {
+  const int nb = GetParam();
+  const Matrix a = generate(96, MatrixKind::Spd, 14);
+  Matrix ref = a;
+  Matrix blk = a;
+  EXPECT_EQ(potrf_unblocked(ref.view()), FactorStatus::Ok);
+  EXPECT_EQ(potrf_blocked(blk.view(), nb), FactorStatus::Ok);
+  // Cholesky is unique (positive diagonal), so the factors agree to
+  // roundoff, not just the residual.
+  double diff = 0.0;
+  for (int i = 0; i < 96; ++i)
+    for (int j = 0; j <= i; ++j)
+      diff = std::max(diff, std::abs(ref(i, j) - blk(i, j)));
+  EXPECT_LT(diff, 1e-10);
+  EXPECT_LT(cholesky_residual(a, blk.view()), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PotrfBlocked,
+                         ::testing::Values(1, 7, 16, 32, 96, 128));
+
+TEST(ExtractLower, ZeroesAboveDiagonal) {
+  Matrix f(3, 3);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) f(i, j) = 1.0 + i * 3 + j;
+  const Matrix l = extract_lower(f.view());
+  EXPECT_DOUBLE_EQ(l(2, 0), f(2, 0));
+  EXPECT_DOUBLE_EQ(l(1, 1), f(1, 1));
+  EXPECT_DOUBLE_EQ(l(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(l(0, 2), 0.0);
+}
+
+TEST(SpdGenerator, IsSymmetricWithDominantDiagonal) {
+  const Matrix a = generate(32, MatrixKind::Spd, 15);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_GT(a(i, i), 31.0);
+    for (int j = 0; j < i; ++j) EXPECT_DOUBLE_EQ(a(i, j), a(j, i));
+  }
+}
+
+TEST(SpdGenerator, RequiresSquareShape) {
+  EXPECT_THROW((void)generate(8, 16, MatrixKind::Spd), ContractViolation);
+}
+
+TEST(CholeskyResidual, DetectsWrongFactor) {
+  const Matrix a = generate(16, MatrixKind::Spd, 16);
+  Matrix f = a;
+  EXPECT_EQ(potrf_unblocked(f.view()), FactorStatus::Ok);
+  f(8, 3) += 0.5;  // corrupt one entry of L
+  EXPECT_GT(cholesky_residual(a, f.view()), 1e-4);
+}
+
+}  // namespace
+}  // namespace conflux::linalg

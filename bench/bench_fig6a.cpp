@@ -3,11 +3,29 @@
 /// models' leading-factor lines, including the "difficult" non-square rank
 /// counts of the inset (greedy 2D grids degrade; grid-optimized COnfLUX
 /// stays smooth).
-#include "bench/bench_common.hpp"
+///
+/// `--json[=path]` additionally writes a machine-readable summary
+/// (per-point wall-clock seconds and volumes) to `path` (default
+/// BENCH_simnet.json) so the simulator's perf trajectory can be tracked
+/// across PRs.
+#include <fstream>
+#include <sstream>
 
-int main() {
+#include "bench/bench_common.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
   using namespace conflux;
   using namespace conflux::bench;
+
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json")
+      json_path = "BENCH_simnet.json";
+    else if (arg.rfind("--json=", 0) == 0)
+      json_path = arg.substr(7);
+  }
 
   const bool full = bench_scale() == BenchScale::Full;
   const int n = full ? 16384 : 2048;
@@ -17,15 +35,28 @@ int main() {
 
   std::cout << "== Figure 6a: comm volume per node vs P (N = " << n
             << ") ==\n\n";
+  std::ostringstream points;
   Table table({"P", "impl", "measured MB/node", "model MB/node",
-               "leading MB/node", "grid"});
+               "leading MB/node", "seconds", "grid"});
+  bool first_point = true;
   for (int p : ps) {
     for (const std::string& algo : algo_names()) {
+      Stopwatch sw;
       const lu::LuResult res = run_dry(algo, n, p);
+      const double seconds = sw.seconds();
       table.add_row(
           {std::to_string(p), algo, fmt(res.bytes_per_rank() / 1e6, 4),
            fmt(model_bytes(algo, n, p) / p / 1e6, 4),
-           fmt(model_bytes(algo, n, p, true) / p / 1e6, 4), res.grid});
+           fmt(model_bytes(algo, n, p, true) / p / 1e6, 4), fmt(seconds, 4),
+           res.grid});
+      if (!first_point) points << ",";
+      first_point = false;
+      points << "\n    {\"p\": " << p << ", \"impl\": \"" << algo
+             << "\", \"seconds\": " << seconds
+             << ", \"bytes_per_rank\": " << res.bytes_per_rank()
+             << ", \"total_bytes\": " << res.total_bytes()
+             << ", \"messages\": " << res.total.messages_sent
+             << ", \"grid\": \"" << res.grid << "\"}";
     }
   }
   table.print(std::cout, 2);
@@ -54,5 +85,13 @@ int main() {
   std::cout << "\nExpected shape: COnfLUX lowest everywhere and smooth at "
                "awkward P; LibSci/SLATE near-identical; CANDMC highest at "
                "all measured scales.\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"fig6a\",\n  \"n\": " << n
+        << ",\n  \"scale\": \"" << (full ? "full" : "small")
+        << "\",\n  \"points\": [" << points.str() << "\n  ]\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+  }
   return 0;
 }

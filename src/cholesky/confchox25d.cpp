@@ -113,12 +113,13 @@ void reduce_panel_column(const Plan& plan, RankState& st, const Comm& comm,
                                static_cast<std::uint32_t>(l));
       const int src = plan.g.rank_of({st.me.px, py_c, l});
       if (plan.numeric) {
-        const std::vector<double> buf = comm.recv(src, tag);
-        std::size_t off = 0;
+        // Accumulate straight out of the shared payload; no copy-out.
+        const simnet::BufferView buf = comm.recv_view(src, tag);
+        const double* in = buf.data();
         for (int it : mine)
           for (int r = it * v; r < (it + 1) * v; ++r) {
             double* base = &elem_at(plan, st, r, col0);
-            for (int k = 0; k < v; ++k) base[k] += buf[off++];
+            for (int k = 0; k < v; ++k) base[k] += *in++;
           }
       } else {
         (void)comm.recv_ghost(src, tag);
@@ -221,26 +222,31 @@ RowSlice multicast_rows(const Plan& plan, RankState& st, const Comm& comm,
   out.slice = chunk_range(v, c, st.me.l);
 
   if (panel.leader && !panel.tiles.empty()) {
+    // One packed slice per layer, multicast to the whole process row: the
+    // py_count recipients share a single immutable buffer.
     const std::size_t nrows = panel.tiles.size() * static_cast<std::size_t>(v);
+    std::vector<int> dsts(static_cast<std::size_t>(plan.g.py_extent()));
     for (int l = 0; l < c; ++l) {
       const auto slice = chunk_range(v, c, l);
       if (slice.size() == 0) continue;
-      for (int py = 0; py < plan.g.py_extent(); ++py) {
-        const int dst = plan.g.rank_of({st.me.px, py, l});
-        const Tag tag = make_tag(8, static_cast<std::uint32_t>(t), 0);
-        if (plan.numeric) {
-          std::vector<double> buf;
-          buf.reserve(nrows * static_cast<std::size_t>(slice.size()));
-          for (std::size_t i = 0; i < nrows; ++i) {
-            const double* base = panel.full.data() +
-                                 i * static_cast<std::size_t>(v) + slice.begin;
-            buf.insert(buf.end(), base, base + slice.size());
-          }
-          comm.send(dst, tag, std::move(buf));
-        } else {
-          comm.send_ghost_doubles(
-              dst, tag, nrows * static_cast<std::size_t>(slice.size()));
+      for (int py = 0; py < plan.g.py_extent(); ++py)
+        dsts[static_cast<std::size_t>(py)] =
+            plan.g.rank_of({st.me.px, py, l});
+      const Tag tag = make_tag(8, static_cast<std::uint32_t>(t), 0);
+      if (plan.numeric) {
+        std::vector<double> buf;
+        buf.reserve(nrows * static_cast<std::size_t>(slice.size()));
+        for (std::size_t i = 0; i < nrows; ++i) {
+          const double* base = panel.full.data() +
+                               i * static_cast<std::size_t>(v) + slice.begin;
+          buf.insert(buf.end(), base, base + slice.size());
         }
+        comm.multicast(dsts, tag,
+                       simnet::make_shared_buffer(std::move(buf)));
+      } else {
+        comm.multicast_ghost(dsts, tag,
+                             nrows * static_cast<std::size_t>(slice.size()) *
+                                 sizeof(double));
       }
     }
   }
@@ -251,10 +257,10 @@ RowSlice multicast_rows(const Plan& plan, RankState& st, const Comm& comm,
     const Tag tag = make_tag(8, static_cast<std::uint32_t>(t), 0);
     out.tiles = mine;
     if (plan.numeric) {
-      const std::vector<double> buf = comm.recv(src, tag);
+      const simnet::BufferView buf = comm.recv_view(src, tag);
       out.values = Matrix(static_cast<int>(mine.size()) * v,
                           out.slice.size());
-      std::copy(buf.begin(), buf.end(), out.values.data());
+      std::copy(buf.data(), buf.data() + buf.size(), out.values.data());
     } else {
       (void)comm.recv_ghost(src, tag);
     }
@@ -290,29 +296,33 @@ ColSlice multicast_cols(const Plan& plan, RankState& st, const Comm& comm,
         if (panel.tiles[i] % py_count == py_d)
           group.push_back(static_cast<int>(i));
       if (group.empty()) continue;
+      // One packed (py_d, layer) strip, multicast across the process row
+      // dimension: all px_count recipients share one immutable buffer.
+      std::vector<int> dsts(static_cast<std::size_t>(px_count));
       for (int l = 0; l < c; ++l) {
         const auto slice = chunk_range(v, c, l);
         if (slice.size() == 0) continue;
-        for (int px2 = 0; px2 < px_count; ++px2) {
-          const int dst = plan.g.rank_of({px2, py_d, l});
-          const Tag tag = make_tag(10, static_cast<std::uint32_t>(t), 0);
-          if (plan.numeric) {
-            std::vector<double> buf;
-            buf.reserve(group.size() * static_cast<std::size_t>(v) *
-                        slice.size());
-            for (int i : group)
-              for (int q = 0; q < v; ++q) {
-                const double* base =
-                    panel.full.data() +
-                    (static_cast<std::size_t>(i) * v + q) * v + slice.begin;
-                buf.insert(buf.end(), base, base + slice.size());
-              }
-            comm.send(dst, tag, std::move(buf));
-          } else {
-            comm.send_ghost_doubles(dst, tag,
-                                    group.size() * static_cast<std::size_t>(v) *
-                                        slice.size());
-          }
+        for (int px2 = 0; px2 < px_count; ++px2)
+          dsts[static_cast<std::size_t>(px2)] =
+              plan.g.rank_of({px2, py_d, l});
+        const Tag tag = make_tag(10, static_cast<std::uint32_t>(t), 0);
+        if (plan.numeric) {
+          std::vector<double> buf;
+          buf.reserve(group.size() * static_cast<std::size_t>(v) *
+                      slice.size());
+          for (int i : group)
+            for (int q = 0; q < v; ++q) {
+              const double* base =
+                  panel.full.data() +
+                  (static_cast<std::size_t>(i) * v + q) * v + slice.begin;
+              buf.insert(buf.end(), base, base + slice.size());
+            }
+          comm.multicast(dsts, tag,
+                         simnet::make_shared_buffer(std::move(buf)));
+        } else {
+          comm.multicast_ghost(dsts, tag,
+                               group.size() * static_cast<std::size_t>(v) *
+                                   slice.size() * sizeof(double));
         }
       }
     }
@@ -332,12 +342,12 @@ ColSlice multicast_cols(const Plan& plan, RankState& st, const Comm& comm,
       const int src = plan.g.rank_of({px1, py_c, l_star});
       const Tag tag = make_tag(10, static_cast<std::uint32_t>(t), 0);
       if (plan.numeric) {
-        const std::vector<double> buf = comm.recv(src, tag);
-        std::size_t off = 0;
+        const simnet::BufferView buf = comm.recv_view(src, tag);
+        const double* in = buf.data();
         for (int j : sub)
           for (int q = 0; q < v; ++q)
             for (int k = out.slice.begin; k < out.slice.end; ++k)
-              out.values(k - out.slice.begin, j * v + q) = buf[off++];
+              out.values(k - out.slice.begin, j * v + q) = *in++;
       } else {
         (void)comm.recv_ghost(src, tag);
       }

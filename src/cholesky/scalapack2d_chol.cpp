@@ -85,14 +85,16 @@ void cholesky2d_body(Comm& comm, const BodyParams& params) {
   }
 
   auto col_group = [&](int pc) {
-    Group grp;
-    for (int pr = 0; pr < g.rows(); ++pr) grp.ranks.push_back(g.rank_of(pr, pc));
-    return grp;
+    std::vector<int> ranks;
+    ranks.reserve(static_cast<std::size_t>(g.rows()));
+    for (int pr = 0; pr < g.rows(); ++pr) ranks.push_back(g.rank_of(pr, pc));
+    return Group(std::move(ranks));
   };
   auto row_group = [&](int pr) {
-    Group grp;
-    for (int pc = 0; pc < g.cols(); ++pc) grp.ranks.push_back(g.rank_of(pr, pc));
-    return grp;
+    std::vector<int> ranks;
+    ranks.reserve(static_cast<std::size_t>(g.cols()));
+    for (int pc = 0; pc < g.cols(); ++pc) ranks.push_back(g.rank_of(pr, pc));
+    return Group(std::move(ranks));
   };
 
   const int steps = n / nb;

@@ -132,11 +132,12 @@ void reduce_panel_column(const Plan& plan, RankState& st, const Comm& comm,
                                static_cast<std::uint32_t>(l));
       const int src = plan.g.rank_of({st.me.px, sv.py_c, l});
       if (plan.numeric) {
-        const std::vector<double> buf = comm.recv(src, tag);
-        std::size_t off = 0;
+        // Accumulate straight out of the shared payload; no copy-out.
+        const simnet::BufferView buf = comm.recv_view(src, tag);
+        const double* in = buf.data();
         for (int r : mine) {
           double* base = &elem_at(plan, st, r, col0);
-          for (int k = 0; k < v; ++k) base[k] += buf[off++];
+          for (int k = 0; k < v; ++k) base[k] += *in++;
         }
       } else {
         (void)comm.recv_ghost(src, tag);
@@ -303,7 +304,10 @@ void broadcast_pivot_block(const Plan& plan, RankState& st, const Comm& comm,
         static_cast<std::size_t>(v) * sizeof(int) +
             static_cast<std::size_t>(v) * v * sizeof(double),
         make_tag(3, static_cast<std::uint32_t>(sv.t), 0));
-    // outcome.pivots already carries the synthetic winners on every rank.
+    // outcome.pivots already carries the synthetic winners on every rank;
+    // dry runs keep the pivot bookkeeping host-side (DryStep), so there is
+    // no per-rank state to update.
+    return;
   }
   for (int r : outcome.pivots) {
     st.pivoted[static_cast<std::size_t>(r)] = 1;
@@ -317,14 +321,6 @@ struct Rem2 {
   std::vector<int> rows;                     ///< ascending
   std::vector<std::vector<int>> by_px;       ///< split by tile-row owner
   std::vector<int> px_of_pos;                ///< owner px per position
-};
-
-/// Host-precomputed per-step schedule for dry runs: with synthetic pivots
-/// the index sets of every step are known up front, so ranks share one
-/// read-only copy instead of recomputing O(N) scans per rank per step.
-struct DryStep {
-  StepView sv;
-  std::vector<int> pivots;
 };
 
 Rem2 make_rem2(const Plan& plan, const StepView& sv,
@@ -342,6 +338,20 @@ Rem2 make_rem2(const Plan& plan, const StepView& sv,
   }
   return rem2;
 }
+
+/// Host-precomputed per-step schedule for dry runs: with synthetic pivots
+/// the index sets of every step are known up front, so ranks share one
+/// read-only copy instead of recomputing O(N) scans per rank per step. The
+/// P threads of a dry run spend their time in the fabric, not in index
+/// bookkeeping — which is what the simulator is supposed to measure.
+struct DryStep {
+  StepView sv;
+  std::vector<int> pivots;
+  Rem2 rem2;  ///< post-pivot row split, shared by all ranks
+  std::vector<std::vector<int>> qs_of_px;        ///< pivot q's per row owner
+  std::vector<std::vector<int>> cols_by_py;      ///< trailing cols per py
+  std::vector<std::vector<int>> tile_cols_by_py; ///< trailing tile cols / py
+};
 
 /// ---- Steps 4 + 7: A10 triangular solve at the row leaders ----------------
 /// The reduced panel column already lives, grouped by tile-row owner px, on
@@ -402,7 +412,8 @@ A01Panel solve_a01_at_aggregators(const Plan& plan, RankState& st,
                                   const Comm& comm, const StepView& sv,
                                   const std::vector<int>& pivots,
                                   const Matrix& a00,
-                                  std::vector<StepRecord>* records) {
+                                  std::vector<StepRecord>* records,
+                                  const DryStep* dry) {
   A01Panel panel;
   const int v = plan.v;
   const int n = plan.n;
@@ -412,22 +423,37 @@ A01Panel solve_a01_at_aggregators(const Plan& plan, RankState& st,
   const int py_count = plan.g.py_extent();
 
   // My trailing columns (the ones my tiles cover) — needed by every rank
-  // for the later multicast and Schur update.
-  for (int col = trail0; col < n; ++col)
-    if ((col / v) % py_count == st.me.py) panel.my_cols.push_back(col);
+  // for the later multicast and Schur update. Dry runs reuse the shared
+  // precomputed split.
+  if (dry != nullptr) {
+    panel.my_cols = dry->cols_by_py[static_cast<std::size_t>(st.me.py)];
+  } else {
+    for (int col = trail0; col < n; ++col)
+      if ((col / v) % py_count == st.me.py) panel.my_cols.push_back(col);
+  }
 
   // Pivot q's grouped by the tile-row owner of their row.
-  std::vector<std::vector<int>> qs_of_px(static_cast<std::size_t>(px_count));
-  for (int q = 0; q < v; ++q)
-    qs_of_px[static_cast<std::size_t>(
-                 (pivots[static_cast<std::size_t>(q)] / v) % px_count)]
-        .push_back(q);
+  std::vector<std::vector<int>> qs_local;
+  if (dry == nullptr) {
+    qs_local.resize(static_cast<std::size_t>(px_count));
+    for (int q = 0; q < v; ++q)
+      qs_local[static_cast<std::size_t>(
+                   (pivots[static_cast<std::size_t>(q)] / v) % px_count)]
+          .push_back(q);
+  }
+  const std::vector<std::vector<int>>& qs_of_px =
+      dry != nullptr ? dry->qs_of_px : qs_local;
 
   // My trailing tile columns, for the send layout.
   const int tiles_total = n / v;
-  std::vector<int> my_tile_cols;
-  for (int jt = sv.t + 1; jt < tiles_total; ++jt)
-    if (jt % py_count == st.me.py) my_tile_cols.push_back(jt);
+  std::vector<int> tile_cols_local;
+  if (dry == nullptr) {
+    for (int jt = sv.t + 1; jt < tiles_total; ++jt)
+      if (jt % py_count == st.me.py) tile_cols_local.push_back(jt);
+  }
+  const std::vector<int>& my_tile_cols =
+      dry != nullptr ? dry->tile_cols_by_py[static_cast<std::size_t>(st.me.py)]
+                     : tile_cols_local;
 
   // Phase 1 (step 5): everyone holding pivot-row partials ships them to the
   // aggregator of its process column.
@@ -463,13 +489,13 @@ A01Panel solve_a01_at_aggregators(const Plan& plan, RankState& st,
       const int src = plan.g.rank_of({px, st.me.py, l});
       const Tag tag = make_tag(5, static_cast<std::uint32_t>(sv.t), 0);
       if (plan.numeric) {
-        const std::vector<double> buf = comm.recv(src, tag);
-        std::size_t off = 0;
+        const simnet::BufferView buf = comm.recv_view(src, tag);
+        const double* in = buf.data();
         for (std::size_t jc = 0; jc < my_tile_cols.size(); ++jc)
           for (int q : qs_of_px[static_cast<std::size_t>(px)]) {
             auto row = panel.agg.row(q);
             for (int k = 0; k < v; ++k)
-              row[jc * static_cast<std::size_t>(v) + k] += buf[off++];
+              row[jc * static_cast<std::size_t>(v) + k] += *in++;
           }
       } else {
         (void)comm.recv_ghost(src, tag);
@@ -511,27 +537,32 @@ A10Slice multicast_a10(const Plan& plan, RankState& st, const Comm& comm,
 
   const auto& group_rows = rem2.by_px[static_cast<std::size_t>(st.me.px)];
   if (panel.leader && !group_rows.empty()) {
+    // One packed slice per layer, multicast to the whole process row: the
+    // py_count recipients share a single immutable buffer.
+    std::vector<int> dsts(static_cast<std::size_t>(plan.g.py_extent()));
     for (int l = 0; l < c; ++l) {
       const auto slice = chunk_range(v, c, l);
       if (slice.size() == 0) continue;
-      for (int py = 0; py < plan.g.py_extent(); ++py) {
-        const int dst = plan.g.rank_of({st.me.px, py, l});
-        const Tag tag = make_tag(8, static_cast<std::uint32_t>(sv.t), 0);
-        if (plan.numeric) {
-          std::vector<double> buf;
-          buf.reserve(group_rows.size() *
-                      static_cast<std::size_t>(slice.size()));
-          for (std::size_t i = 0; i < group_rows.size(); ++i) {
-            const double* base = panel.full.data() +
-                                 i * static_cast<std::size_t>(v) + slice.begin;
-            buf.insert(buf.end(), base, base + slice.size());
-          }
-          comm.send(dst, tag, std::move(buf));
-        } else {
-          comm.send_ghost_doubles(
-              dst, tag,
-              group_rows.size() * static_cast<std::size_t>(slice.size()));
+      for (int py = 0; py < plan.g.py_extent(); ++py)
+        dsts[static_cast<std::size_t>(py)] =
+            plan.g.rank_of({st.me.px, py, l});
+      const Tag tag = make_tag(8, static_cast<std::uint32_t>(sv.t), 0);
+      if (plan.numeric) {
+        std::vector<double> buf;
+        buf.reserve(group_rows.size() *
+                    static_cast<std::size_t>(slice.size()));
+        for (std::size_t i = 0; i < group_rows.size(); ++i) {
+          const double* base = panel.full.data() +
+                               i * static_cast<std::size_t>(v) + slice.begin;
+          buf.insert(buf.end(), base, base + slice.size());
         }
+        comm.multicast(dsts, tag,
+                       simnet::make_shared_buffer(std::move(buf)));
+      } else {
+        comm.multicast_ghost(
+            dsts, tag,
+            group_rows.size() * static_cast<std::size_t>(slice.size()) *
+                sizeof(double));
       }
     }
   }
@@ -539,12 +570,12 @@ A10Slice multicast_a10(const Plan& plan, RankState& st, const Comm& comm,
   if (!group_rows.empty() && out.slice.size() > 0) {
     const int src = plan.g.rank_of({st.me.px, sv.py_c, sv.l_star});
     const Tag tag = make_tag(8, static_cast<std::uint32_t>(sv.t), 0);
-    out.rows = group_rows;
     if (plan.numeric) {
-      const std::vector<double> buf = comm.recv(src, tag);
+      out.rows = group_rows;
+      const simnet::BufferView buf = comm.recv_view(src, tag);
       out.values =
           Matrix(static_cast<int>(group_rows.size()), out.slice.size());
-      std::copy(buf.begin(), buf.end(), out.values.data());
+      std::copy(buf.data(), buf.data() + buf.size(), out.values.data());
     } else {
       (void)comm.recv_ghost(src, tag);
     }
@@ -570,26 +601,29 @@ A01Slice multicast_a01(const Plan& plan, RankState& st, const Comm& comm,
   if (plan.n - trail0 == 0) return out;
 
   if (panel.aggregator && !panel.my_cols.empty()) {
+    // One packed slice per layer, multicast down the process column.
+    std::vector<int> dsts(static_cast<std::size_t>(plan.g.px_extent()));
     for (int l = 0; l < c; ++l) {
       const auto slice = chunk_range(v, c, l);
       if (slice.size() == 0) continue;
-      for (int px = 0; px < plan.g.px_extent(); ++px) {
-        const int dst = plan.g.rank_of({px, st.me.py, l});
-        const Tag tag = make_tag(10, static_cast<std::uint32_t>(sv.t), 0);
-        if (plan.numeric) {
-          std::vector<double> buf;
-          buf.reserve(static_cast<std::size_t>(slice.size()) *
-                      panel.my_cols.size());
-          for (int q = slice.begin; q < slice.end; ++q) {
-            auto row = panel.agg.row(q);
-            buf.insert(buf.end(), row.begin(), row.end());
-          }
-          comm.send(dst, tag, std::move(buf));
-        } else {
-          comm.send_ghost_doubles(dst, tag,
-                                  static_cast<std::size_t>(slice.size()) *
-                                      panel.my_cols.size());
+      for (int px = 0; px < plan.g.px_extent(); ++px)
+        dsts[static_cast<std::size_t>(px)] =
+            plan.g.rank_of({px, st.me.py, l});
+      const Tag tag = make_tag(10, static_cast<std::uint32_t>(sv.t), 0);
+      if (plan.numeric) {
+        std::vector<double> buf;
+        buf.reserve(static_cast<std::size_t>(slice.size()) *
+                    panel.my_cols.size());
+        for (int q = slice.begin; q < slice.end; ++q) {
+          auto row = panel.agg.row(q);
+          buf.insert(buf.end(), row.begin(), row.end());
         }
+        comm.multicast(dsts, tag,
+                       simnet::make_shared_buffer(std::move(buf)));
+      } else {
+        comm.multicast_ghost(dsts, tag,
+                             static_cast<std::size_t>(slice.size()) *
+                                 panel.my_cols.size() * sizeof(double));
       }
     }
   }
@@ -597,12 +631,12 @@ A01Slice multicast_a01(const Plan& plan, RankState& st, const Comm& comm,
   if (!panel.my_cols.empty() && out.slice.size() > 0) {
     const int src = plan.g.rank_of({sv.px_c, st.me.py, sv.l_star});
     const Tag tag = make_tag(10, static_cast<std::uint32_t>(sv.t), 0);
-    out.cols = panel.my_cols;
     if (plan.numeric) {
-      const std::vector<double> buf = comm.recv(src, tag);
+      out.cols = panel.my_cols;
+      const simnet::BufferView buf = comm.recv_view(src, tag);
       out.values =
           Matrix(out.slice.size(), static_cast<int>(out.cols.size()));
-      std::copy(buf.begin(), buf.end(), out.values.data());
+      std::copy(buf.data(), buf.data() + buf.size(), out.values.data());
     } else {
       (void)comm.recv_ghost(src, tag);
     }
@@ -678,11 +712,30 @@ LuResult Conflux25D::run(const linalg::Matrix* a, const LuConfig& cfg) {
     RankState ghost;
     ghost.pivoted.assign(static_cast<std::size_t>(plan.n), 0);
     dry_sched.reserve(static_cast<std::size_t>(plan.steps));
+    const int px_count = plan.g.px_extent();
+    const int py_count = plan.g.py_extent();
+    const int tiles_total = plan.n / plan.v;
     for (int t = 0; t < plan.steps; ++t) {
       DryStep ds;
       ds.sv = make_step_view(plan, ghost, t);
       ds.pivots = synthetic_pivots(ghost.pivoted, plan.n, plan.v, t, plan.seed);
       for (int r : ds.pivots) ghost.pivoted[static_cast<std::size_t>(r)] = 1;
+      ds.rem2 = make_rem2(plan, ds.sv, ds.pivots);
+      ds.qs_of_px.resize(static_cast<std::size_t>(px_count));
+      for (int q = 0; q < plan.v; ++q)
+        ds.qs_of_px[static_cast<std::size_t>(
+                        (ds.pivots[static_cast<std::size_t>(q)] / plan.v) %
+                        px_count)]
+            .push_back(q);
+      ds.cols_by_py.resize(static_cast<std::size_t>(py_count));
+      ds.tile_cols_by_py.resize(static_cast<std::size_t>(py_count));
+      for (int jt = t + 1; jt < tiles_total; ++jt) {
+        auto& cols = ds.cols_by_py[static_cast<std::size_t>(jt % py_count)];
+        for (int col = jt * plan.v; col < (jt + 1) * plan.v; ++col)
+          cols.push_back(col);
+        ds.tile_cols_by_py[static_cast<std::size_t>(jt % py_count)]
+            .push_back(jt);
+      }
       dry_sched.push_back(std::move(ds));
     }
   }
@@ -734,13 +787,17 @@ LuResult Conflux25D::run(const linalg::Matrix* a, const LuConfig& cfg) {
         rec.pivots = outcome.pivots;
         rec.a00 = outcome.a00;
       }
-      const Rem2 rem2 = make_rem2(plan, sv, outcome.pivots);
+      const DryStep* ds =
+          plan.numeric ? nullptr : &dry_sched[static_cast<std::size_t>(t)];
+      Rem2 rem2_storage;
+      if (plan.numeric) rem2_storage = make_rem2(plan, sv, outcome.pivots);
+      const Rem2& rem2 = plan.numeric ? rem2_storage : ds->rem2;
       const A10Panel a10_panel = solve_a10_at_leaders(               // 4 + 7
           plan, st, comm, sv, rem2, outcome.a00,
           want_records ? &records : nullptr);
       const A01Panel a01_panel = solve_a01_at_aggregators(           // 5 + 9
           plan, st, comm, sv, outcome.pivots, outcome.a00,
-          want_records ? &records : nullptr);
+          want_records ? &records : nullptr, ds);
       const A10Slice a10 = multicast_a10(plan, st, comm, sv, rem2,   // 8
                                          a10_panel);
       const A01Slice a01 = multicast_a01(plan, st, comm, sv,         // 10

@@ -90,14 +90,16 @@ void scalapack2d_body(Comm& comm, const Scalapack2DParams& params) {
   // The column group containing process column pc (all pr), and the row
   // group containing process row pr (all pc).
   auto col_group = [&](int pc) {
-    Group grp;
-    for (int pr = 0; pr < g.rows(); ++pr) grp.ranks.push_back(rank_of(pr, pc));
-    return grp;
+    std::vector<int> ranks;
+    ranks.reserve(static_cast<std::size_t>(g.rows()));
+    for (int pr = 0; pr < g.rows(); ++pr) ranks.push_back(rank_of(pr, pc));
+    return Group(std::move(ranks));
   };
   auto row_group = [&](int pr) {
-    Group grp;
-    for (int pc = 0; pc < g.cols(); ++pc) grp.ranks.push_back(rank_of(pr, pc));
-    return grp;
+    std::vector<int> ranks;
+    ranks.reserve(static_cast<std::size_t>(g.cols()));
+    for (int pc = 0; pc < g.cols(); ++pc) ranks.push_back(rank_of(pr, pc));
+    return Group(std::move(ranks));
   };
 
   std::vector<int> ipiv(static_cast<std::size_t>(n), -1);
@@ -241,26 +243,46 @@ void scalapack2d_body(Comm& comm, const Scalapack2DParams& params) {
       // (pdlapiv semantics): occupant[pos] = original row whose data must
       // end up at position pos. Applying moves from original positions is
       // then order-independent, so messages batch safely even when swap
-      // chains share rows.
-      std::map<int, int> occupant;
+      // chains share rows. A flat (pos, row) list beats a std::map here:
+      // at most 2*kb entries, rebuilt by every rank every step.
+      std::vector<std::pair<int, int>> occupant;
+      occupant.reserve(2 * static_cast<std::size_t>(kb));
       auto occ = [&](int pos) {
-        const auto it = occupant.find(pos);
-        return it == occupant.end() ? pos : it->second;
+        for (const auto& [p, row] : occupant)
+          if (p == pos) return row;
+        return pos;
+      };
+      auto set_occ = [&](int pos, int row) {
+        for (auto& [p, r] : occupant)
+          if (p == pos) {
+            r = row;
+            return;
+          }
+        occupant.emplace_back(pos, row);
       };
       for (int j = k0; j < k0 + kb; ++j) {
         const int piv = ipiv[static_cast<std::size_t>(j)];
         if (piv == j) continue;
         const int oj = occ(j), op = occ(piv);
-        occupant[j] = op;
-        occupant[piv] = oj;
+        set_occ(j, op);
+        set_occ(piv, oj);
       }
       // Columns outside the panel that I own (sender and receiver live in
-      // the same process column, so both sides see the same width).
-      std::vector<int> out_cols;
-      for (int col : me.my_cols)
-        if (col < k0 || col >= k0 + kb) out_cols.push_back(col);
+      // the same process column, so both sides see the same width): local
+      // indices [0, panel_lo) and [panel_hi, ncols), ascending.
+      const int panel_lo = me.lcol_lower_bound(k0);
+      const int panel_hi = me.lcol_lower_bound(k0 + kb);
+      const int ncols = static_cast<int>(me.my_cols.size());
+      const std::size_t out_count =
+          static_cast<std::size_t>(ncols - (panel_hi - panel_lo));
+      auto for_each_out_col = [&](auto&& fn) {
+        for (int jl = 0; jl < panel_lo; ++jl) fn(jl);
+        for (int jl = panel_hi; jl < ncols; ++jl) fn(jl);
+      };
 
-      // Moves grouped by (source owner -> destination owner).
+      // Moves grouped by (source owner -> destination owner). Every rank
+      // iterates `occupant` in the same (deterministic) order, so the
+      // per-pair move lists agree between sender and receiver.
       std::map<std::pair<int, int>, std::vector<std::pair<int, int>>> moves;
       for (const auto& [pos, src] : occupant) {
         if (pos == src) continue;
@@ -289,13 +311,13 @@ void scalapack2d_body(Comm& comm, const Scalapack2DParams& params) {
           Outgoing out;
           out.dst_rank = rank_of(odst, me.pc);
           out.tag = make_tag(23, ts, pair_id);
-          out.count = mv.size() * out_cols.size();
+          out.count = mv.size() * out_count;
           if (numeric) {
             out.buf.reserve(out.count);
             for (const auto& [src, pos] : mv) {
               const int r = me.lrow(src);
-              for (int col : out_cols)
-                out.buf.push_back(me.loc(r, me.lcol(col)));
+              for_each_out_col(
+                  [&](int jl) { out.buf.push_back(me.loc(r, jl)); });
             }
           }
           outbox.push_back(std::move(out));
@@ -307,9 +329,9 @@ void scalapack2d_body(Comm& comm, const Scalapack2DParams& params) {
         for (const auto& [src, pos] : local_moves) {
           (void)pos;
           std::vector<double> row;
-          row.reserve(out_cols.size());
+          row.reserve(out_count);
           const int r = me.lrow(src);
-          for (int col : out_cols) row.push_back(me.loc(r, me.lcol(col)));
+          for_each_out_col([&](int jl) { row.push_back(me.loc(r, jl)); });
           staged.push_back(std::move(row));
         }
       }
@@ -322,8 +344,8 @@ void scalapack2d_body(Comm& comm, const Scalapack2DParams& params) {
       if (numeric) {
         for (std::size_t i = 0; i < local_moves.size(); ++i) {
           const int r = me.lrow(local_moves[i].second);
-          for (std::size_t jl = 0; jl < out_cols.size(); ++jl)
-            me.loc(r, me.lcol(out_cols[jl])) = staged[i][jl];
+          std::size_t idx = 0;
+          for_each_out_col([&](int jl) { me.loc(r, jl) = staged[i][idx++]; });
         }
       }
       pair_id = 0;
@@ -334,12 +356,12 @@ void scalapack2d_body(Comm& comm, const Scalapack2DParams& params) {
         const Tag tag = make_tag(23, ts, pair_id);
         const int src_rank = rank_of(osrc, me.pc);
         if (numeric) {
-          const std::vector<double> buf = comm.recv(src_rank, tag);
-          std::size_t off = 0;
+          const simnet::BufferView buf = comm.recv_view(src_rank, tag);
+          const double* in = buf.data();
           for (const auto& [src, pos] : mv) {
             (void)src;
             const int r = me.lrow(pos);
-            for (int col : out_cols) me.loc(r, me.lcol(col)) = buf[off++];
+            for_each_out_col([&](int jl) { me.loc(r, jl) = *in++; });
           }
         } else {
           (void)comm.recv_ghost(src_rank, tag);

@@ -22,16 +22,80 @@ namespace {
   return (index - root_index + n) % n;
 }
 [[nodiscard]] int real_of(int vrank, int root_index, const Group& g) {
-  return g.ranks[static_cast<std::size_t>((vrank + root_index) % g.size())];
+  return g.at((vrank + root_index) % g.size());
+}
+
+/// The binomial broadcast tree of one rank: its parent hop (if any) and its
+/// forwarding rounds, shared by the real / packed / ghost bcast variants.
+struct BcastPosition {
+  int parent_vrank = -1;  ///< -1 at the root
+  unsigned recv_round = 0;
+  unsigned first_send_round = 0;
+  int first_mask = 1;
+};
+
+[[nodiscard]] BcastPosition bcast_position(int v) {
+  BcastPosition pos;
+  if (v == 0) return pos;
+  int bit = 1;
+  while (bit * 2 <= v) bit <<= 1;
+  unsigned r = 0;
+  for (int b = bit; b > 1; b >>= 1) ++r;
+  pos.parent_vrank = v - bit;
+  pos.recv_round = r;
+  pos.first_send_round = r + 1;
+  pos.first_mask = bit << 1;
+  return pos;
+}
+
+/// Forward an immutable payload down this rank's branch of the binomial
+/// tree: one refcount bump per child, zero copies.
+void bcast_forward(const Comm& comm, const Group& group, int root_index,
+                   int v, const BcastPosition& pos, const SharedBuffer& buf,
+                   std::size_t logical_bytes, Tag tag, unsigned op) {
+  const int n = group.size();
+  unsigned round = pos.first_send_round;
+  for (int mask = pos.first_mask; mask < n; mask <<= 1, ++round) {
+    if (v < mask && v + mask < n)
+      comm.send_shared(real_of(v + mask, root_index, group),
+                       sub_tag(tag, op, round), buf, logical_bytes);
+  }
 }
 
 }  // namespace
 
+Group::Group(std::vector<int> ranks) : ranks_(std::move(ranks)) {
+  bool contiguous = true;
+  for (std::size_t i = 1; i < ranks_.size(); ++i)
+    if (ranks_[i] != ranks_[0] + static_cast<int>(i)) {
+      contiguous = false;
+      break;
+    }
+  if (contiguous && !ranks_.empty()) {
+    contiguous_base_ = ranks_[0];
+    return;
+  }
+  sorted_.reserve(ranks_.size());
+  for (std::size_t i = 0; i < ranks_.size(); ++i)
+    sorted_.emplace_back(ranks_[i], static_cast<int>(i));
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
 Group Group::iota(int n) {
-  Group g;
-  g.ranks.resize(static_cast<std::size_t>(n));
-  std::iota(g.ranks.begin(), g.ranks.end(), 0);
-  return g;
+  std::vector<int> ranks(static_cast<std::size_t>(n));
+  std::iota(ranks.begin(), ranks.end(), 0);
+  return Group(std::move(ranks));
+}
+
+int Group::index_of(int rank) const {
+  if (contiguous_base_ >= 0) {
+    const int i = rank - contiguous_base_;
+    return (i >= 0 && i < size()) ? i : -1;
+  }
+  const auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), std::make_pair(rank, 0),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  return (it != sorted_.end() && it->first == rank) ? it->second : -1;
 }
 
 void bcast(const Comm& comm, const Group& group, int root_index,
@@ -40,29 +104,20 @@ void bcast(const Comm& comm, const Group& group, int root_index,
   const int me = group.index_of(comm.rank());
   CONFLUX_EXPECTS(me >= 0 && root_index >= 0 && root_index < n);
   const int v = vrank_of(me, root_index, n);
+  const BcastPosition pos = bcast_position(v);
 
-  // Binomial tree: in round r, ranks with vrank < 2^r forward to vrank+2^r.
-  unsigned round = 0;
-  int mask = 1;
-  while (mask < n) mask <<= 1;
-  // Receive first (non-root): find the highest bit of v.
-  if (v != 0) {
-    int bit = 1;
-    while (bit * 2 <= v) bit <<= 1;
-    // parent = v - bit; round index = log2(bit)
-    unsigned r = 0;
-    for (int b = bit; b > 1; b >>= 1) ++r;
-    data = comm.recv(real_of(v - bit, root_index, group), sub_tag(tag, 0, r));
-    round = r + 1;
-    mask = bit << 1;
+  SharedBuffer buf;
+  if (v == 0) {
+    if (n == 1) return;
+    buf = make_shared_buffer(std::span<const double>(data));
   } else {
-    mask = 1;
+    buf = comm.recv_view(real_of(pos.parent_vrank, root_index, group),
+                         sub_tag(tag, 0, pos.recv_round))
+              .shared();
   }
-  for (; mask < n; mask <<= 1, ++round) {
-    if (v < mask && v + mask < n)
-      comm.send(real_of(v + mask, root_index, group), sub_tag(tag, 0, round),
-                std::span<const double>(data));
-  }
+  bcast_forward(comm, group, root_index, v, pos, buf,
+                buf->size() * sizeof(double), tag, 0);
+  if (v != 0) data = BufferView(std::move(buf)).take();
 }
 
 std::size_t bcast_ghost(const Comm& comm, const Group& group, int root_index,
@@ -71,21 +126,14 @@ std::size_t bcast_ghost(const Comm& comm, const Group& group, int root_index,
   const int me = group.index_of(comm.rank());
   CONFLUX_EXPECTS(me >= 0 && root_index >= 0 && root_index < n);
   const int v = vrank_of(me, root_index, n);
+  const BcastPosition pos = bcast_position(v);
 
   std::size_t count = logical_bytes;
-  int mask = 1;
-  unsigned round = 0;
-  if (v != 0) {
-    int bit = 1;
-    while (bit * 2 <= v) bit <<= 1;
-    unsigned r = 0;
-    for (int b = bit; b > 1; b >>= 1) ++r;
-    count = comm.recv_ghost(real_of(v - bit, root_index, group),
-                            sub_tag(tag, 0, r));
-    round = r + 1;
-    mask = bit << 1;
-  }
-  for (; mask < n; mask <<= 1, ++round) {
+  if (v != 0)
+    count = comm.recv_ghost(real_of(pos.parent_vrank, root_index, group),
+                            sub_tag(tag, 0, pos.recv_round));
+  unsigned round = pos.first_send_round;
+  for (int mask = pos.first_mask; mask < n; mask <<= 1, ++round) {
     if (v < mask && v + mask < n)
       comm.send_ghost(real_of(v + mask, root_index, group),
                       sub_tag(tag, 0, round), count);
@@ -95,32 +143,30 @@ std::size_t bcast_ghost(const Comm& comm, const Group& group, int root_index,
 
 void bcast_ints(const Comm& comm, const Group& group, int root_index,
                 std::vector<int>& data, Tag tag) {
-  // Reuse the double-payload tree; account 4 B per element by sending via
-  // send_ints-compatible encoding. For simplicity we transport as doubles
-  // and adjust: volume-accurate variant packs 2 ints per double slot.
-  std::vector<double> packed;
   const int n = group.size();
   const int me = group.index_of(comm.rank());
-  CONFLUX_EXPECTS(me >= 0);
+  CONFLUX_EXPECTS(me >= 0 && root_index >= 0 && root_index < n);
   const int v = vrank_of(me, root_index, n);
+  const BcastPosition pos = bcast_position(v);
 
-  int mask = 1;
-  unsigned round = 0;
-  if (v != 0) {
-    int bit = 1;
-    while (bit * 2 <= v) bit <<= 1;
-    unsigned r = 0;
-    for (int b = bit; b > 1; b >>= 1) ++r;
-    data = comm.recv_ints(real_of(v - bit, root_index, group),
-                          sub_tag(tag, 1, r));
-    round = r + 1;
-    mask = bit << 1;
+  // One bit-packed buffer (exact 4 B/element accounting) travels the same
+  // binomial tree as bcast, forwarded by reference hop-to-hop.
+  SharedBuffer buf;
+  std::size_t logical_bytes = data.size() * sizeof(int);
+  if (v == 0) {
+    if (n == 1) return;
+    buf = make_shared_buffer(pack_ints(data));
+  } else {
+    const BufferView view =
+        comm.recv_view(real_of(pos.parent_vrank, root_index, group),
+                       sub_tag(tag, 1, pos.recv_round));
+    logical_bytes = view.logical_bytes();
+    buf = view.shared();
   }
-  for (; mask < n; mask <<= 1, ++round) {
-    if (v < mask && v + mask < n)
-      comm.send_ints(real_of(v + mask, root_index, group),
-                     sub_tag(tag, 1, round), std::span<const int>(data));
-  }
+  bcast_forward(comm, group, root_index, v, pos, buf, logical_bytes, tag, 1);
+  if (v != 0)
+    data = unpack_ints(BufferView(std::move(buf)),
+                       logical_bytes / sizeof(int));
 }
 
 void reduce_sum(const Comm& comm, const Group& group, int root_index,
@@ -138,10 +184,11 @@ void reduce_sum(const Comm& comm, const Group& group, int root_index,
       return;  // leaf for the remaining rounds
     }
     if (v + mask < n) {
-      const std::vector<double> other =
-          comm.recv(real_of(v + mask, root_index, group), sub_tag(tag, 2, round));
+      const BufferView other = comm.recv_view(
+          real_of(v + mask, root_index, group), sub_tag(tag, 2, round));
       CONFLUX_ASSERT(other.size() == inout.size());
-      for (std::size_t i = 0; i < inout.size(); ++i) inout[i] += other[i];
+      const double* src = other.data();
+      for (std::size_t i = 0; i < inout.size(); ++i) inout[i] += src[i];
     }
   }
 }
@@ -180,8 +227,10 @@ MaxLoc allreduce_maxloc(const Comm& comm, const Group& group, MaxLoc mine,
   const int me = group.index_of(comm.rank());
   CONFLUX_EXPECTS(me >= 0);
   // Tree reduce to index 0 with 12-byte pair messages, then broadcast back.
+  constexpr std::size_t kPairBytes = sizeof(double) + sizeof(int);
   auto encode = [](MaxLoc m) {
-    return std::vector<double>{m.value, static_cast<double>(m.location)};
+    return make_shared_buffer(
+        std::vector<double>{m.value, static_cast<double>(m.location)});
   };
   auto combine = [](MaxLoc a, MaxLoc b) {
     if (b.value > a.value ||
@@ -195,49 +244,28 @@ MaxLoc allreduce_maxloc(const Comm& comm, const Group& group, MaxLoc mine,
   bool leaf = false;
   for (int mask = 1; mask < n && !leaf; mask <<= 1, ++round) {
     if ((me & mask) != 0) {
-      Message msg;
-      msg.payload = encode(mine);
-      msg.logical_bytes = sizeof(double) + sizeof(int);
-      comm.network().deliver(comm.rank(),
-                             group.ranks[static_cast<std::size_t>(me - mask)],
-                             sub_tag(tag, 4, round), std::move(msg));
+      comm.send_shared(group.at(me - mask), sub_tag(tag, 4, round),
+                       encode(mine), kPairBytes);
       leaf = true;
     } else if (me + mask < n) {
-      const std::vector<double> other =
-          comm.recv(group.ranks[static_cast<std::size_t>(me + mask)],
-                    sub_tag(tag, 4, round));
+      const BufferView other =
+          comm.recv_view(group.at(me + mask), sub_tag(tag, 4, round));
       mine = combine(mine, {other[0], static_cast<int>(other[1])});
     }
   }
-  // Broadcast the winner.
-  std::vector<double> buf = encode(mine);
-  // 12 logical bytes per hop: emulate by ghost accounting plus payload relay.
-  const int root_index = 0;
-  const int v = me;
-  unsigned r2 = 0;
-  int mask = 1;
-  if (v != 0) {
-    int bit = 1;
-    while (bit * 2 <= v) bit <<= 1;
-    unsigned r = 0;
-    for (int b = bit; b > 1; b >>= 1) ++r;
-    buf = comm.recv(group.ranks[static_cast<std::size_t>(v - bit)],
-                    sub_tag(tag, 5, r));
-    r2 = r + 1;
-    mask = bit << 1;
+  // Broadcast the winner down the same tree, zero-copy.
+  const BcastPosition pos = bcast_position(me);
+  SharedBuffer buf;
+  if (me == 0) {
+    if (n == 1) return mine;
+    buf = encode(mine);
+  } else {
+    buf = comm.recv_view(group.at(pos.parent_vrank),
+                         sub_tag(tag, 5, pos.recv_round))
+              .shared();
   }
-  for (; mask < n; mask <<= 1, ++r2) {
-    if (v < mask && v + mask < n) {
-      Message msg;
-      msg.payload = buf;
-      msg.logical_bytes = sizeof(double) + sizeof(int);
-      comm.network().deliver(comm.rank(),
-                             group.ranks[static_cast<std::size_t>(v + mask)],
-                             sub_tag(tag, 5, r2), std::move(msg));
-    }
-  }
-  (void)root_index;
-  return {buf[0], static_cast<int>(buf[1])};
+  bcast_forward(comm, group, 0, me, pos, buf, kPairBytes, tag, 5);
+  return {(*buf)[0], static_cast<int>((*buf)[1])};
 }
 
 std::vector<std::vector<double>> gather(const Comm& comm, const Group& group,
@@ -254,11 +282,10 @@ std::vector<std::vector<double>> gather(const Comm& comm, const Group& group,
     for (int i = 0; i < n; ++i) {
       if (i == root_index) continue;
       parts[static_cast<std::size_t>(i)] =
-          comm.recv(group.ranks[static_cast<std::size_t>(i)], sub_tag(tag, 6, 0));
+          comm.recv(group.at(i), sub_tag(tag, 6, 0));
     }
   } else {
-    comm.send(group.ranks[static_cast<std::size_t>(root_index)],
-              sub_tag(tag, 6, 0), mine);
+    comm.send(group.at(root_index), sub_tag(tag, 6, 0), mine);
   }
   return parts;
 }
@@ -272,10 +299,8 @@ void barrier(const Comm& comm, const Group& group, Tag tag) {
   for (int dist = 1; dist < n; dist <<= 1, ++round) {
     const int to = (me + dist) % n;
     const int from = (me - dist % n + n) % n;
-    comm.send_ghost(group.ranks[static_cast<std::size_t>(to)],
-                    sub_tag(tag, 7, round), 0);
-    (void)comm.recv_ghost(group.ranks[static_cast<std::size_t>(from)],
-                          sub_tag(tag, 7, round));
+    comm.send_ghost(group.at(to), sub_tag(tag, 7, round), 0);
+    (void)comm.recv_ghost(group.at(from), sub_tag(tag, 7, round));
   }
 }
 

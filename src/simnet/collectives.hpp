@@ -2,14 +2,17 @@
 /// Group collectives built from point-to-point messages with the tree shapes
 /// production MPI implementations use (binomial broadcast/reduce,
 /// dissemination barrier). Volumes therefore match what Score-P would count
-/// for the equivalent MPI calls.
+/// for the equivalent MPI calls. Broadcast trees forward one immutable
+/// shared payload hop-to-hop (zero-copy fan-out; see message.hpp).
 ///
-/// Every rank in `group.ranks` must call the collective with the same tag.
+/// Every rank in the group must call the collective with the same tag.
 /// Internal rounds derive sub-tags, so a user tag must not be reused for a
 /// different concurrent operation within the same group.
 #pragma once
 
+#include <initializer_list>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "simnet/comm.hpp"
@@ -17,20 +20,35 @@
 namespace conflux::simnet {
 
 /// An ordered set of distinct global ranks participating in a collective.
-struct Group {
-  std::vector<int> ranks;
-
-  [[nodiscard]] int size() const { return static_cast<int>(ranks.size()); }
-
-  /// Index of `rank` within the group; -1 when absent.
-  [[nodiscard]] int index_of(int rank) const {
-    for (int i = 0; i < size(); ++i)
-      if (ranks[static_cast<std::size_t>(i)] == rank) return i;
-    return -1;
-  }
+/// Membership lookup is precomputed at construction: `index_of` is O(1) for
+/// contiguous rank ranges (the common "world" case) and O(log n) otherwise —
+/// it sits on the entry path of every collective round, so it must not be a
+/// linear scan.
+class Group {
+ public:
+  Group() = default;
+  Group(std::initializer_list<int> ranks)
+      : Group(std::vector<int>(ranks)) {}
+  explicit Group(std::vector<int> ranks);
 
   /// The trivial group [0, n).
   [[nodiscard]] static Group iota(int n);
+
+  [[nodiscard]] int size() const { return static_cast<int>(ranks_.size()); }
+  [[nodiscard]] const std::vector<int>& ranks() const { return ranks_; }
+
+  /// Global rank of the member at `index`.
+  [[nodiscard]] int at(int index) const {
+    return ranks_[static_cast<std::size_t>(index)];
+  }
+
+  /// Index of `rank` within the group; -1 when absent.
+  [[nodiscard]] int index_of(int rank) const;
+
+ private:
+  std::vector<int> ranks_;
+  int contiguous_base_ = -1;  ///< ranks_[i] == base + i when >= 0
+  std::vector<std::pair<int, int>> sorted_;  ///< (rank, index), by rank
 };
 
 /// Binomial-tree broadcast of `data` from the group member at `root_index`.
@@ -43,7 +61,8 @@ void bcast(const Comm& comm, const Group& group, int root_index,
 std::size_t bcast_ghost(const Comm& comm, const Group& group, int root_index,
                         std::size_t logical_bytes, Tag tag);
 
-/// Broadcast of int indices (4 B each).
+/// Broadcast of int indices, bit-packed two per double slot (exactly 4 B
+/// per element on the wire, same tree shape as bcast).
 void bcast_ints(const Comm& comm, const Group& group, int root_index,
                 std::vector<int>& data, Tag tag);
 

@@ -3,8 +3,12 @@
 /// simulated network, in both numeric (real payload) and dry-run ("ghost",
 /// bytes-only) flavours. Byte accounting uses 8 B per double and 4 B per
 /// int index, matching what the MPI datatypes would put on the wire.
+/// Payloads are immutable shared buffers (see message.hpp): `send_shared`
+/// and `multicast` move a refcounted buffer through the fabric with zero
+/// copies, and `recv_view` hands the receiver a non-owning view.
 #pragma once
 
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -12,6 +16,24 @@
 #include "support/assert.hpp"
 
 namespace conflux::simnet {
+
+/// Bit-pack int indices two-per-double-slot (4 B each on the wire). The
+/// element count travels separately as `logical_bytes / sizeof(int)`.
+[[nodiscard]] inline std::vector<double> pack_ints(std::span<const int> data) {
+  std::vector<double> packed((data.size() + 1) / 2, 0.0);
+  if (!data.empty())
+    std::memcpy(packed.data(), data.data(), data.size() * sizeof(int));
+  return packed;
+}
+
+/// Inverse of pack_ints.
+[[nodiscard]] inline std::vector<int> unpack_ints(const BufferView& view,
+                                                  std::size_t count) {
+  CONFLUX_ASSERT(view.size() * sizeof(double) >= count * sizeof(int));
+  std::vector<int> out(count);
+  if (count > 0) std::memcpy(out.data(), view.data(), count * sizeof(int));
+  return out;
+}
 
 /// A rank's handle to the fabric. Cheap to copy; all state lives in the
 /// Network it references.
@@ -25,46 +47,87 @@ class Comm {
   [[nodiscard]] int size() const { return net_->size(); }
   [[nodiscard]] Network& network() const { return *net_; }
 
-  // --- point-to-point, real payloads -------------------------------------
+  // --- point-to-point, shared immutable payloads ---------------------------
+
+  /// Send an immutable shared buffer (8 B/element on the wire). Zero-copy:
+  /// the mailbox holds a reference, not a duplicate.
+  void send_shared(int dst, Tag tag, SharedBuffer buf) const {
+    const std::size_t bytes = buf->size() * sizeof(double);
+    send_shared(dst, tag, std::move(buf), bytes);
+  }
+
+  /// As above with an explicit wire size (for packed int / mixed payloads).
+  void send_shared(int dst, Tag tag, SharedBuffer buf,
+                   std::size_t logical_bytes) const {
+    Message msg;
+    msg.shared = std::move(buf);
+    msg.logical_bytes = logical_bytes;
+    net_->deliver(rank_, dst, tag, std::move(msg));
+  }
+
+  /// Enqueue one immutable buffer to every destination — the multicast
+  /// primitive. All recipients alias the same storage; accounting equals
+  /// `dsts.size()` individual sends.
+  void multicast(std::span<const int> dsts, Tag tag, SharedBuffer buf) const {
+    const std::size_t bytes = buf->size() * sizeof(double);
+    net_->multicast(rank_, dsts, tag, std::move(buf), bytes);
+  }
+
+  /// Multicast with an explicit wire size (packed int / mixed payloads).
+  void multicast(std::span<const int> dsts, Tag tag, SharedBuffer buf,
+                 std::size_t logical_bytes) const {
+    net_->multicast(rank_, dsts, tag, std::move(buf), logical_bytes);
+  }
+
+  /// Ghost multicast: only byte counts travel (dry-run mode).
+  void multicast_ghost(std::span<const int> dsts, Tag tag,
+                       std::size_t logical_bytes) const {
+    net_->multicast(rank_, dsts, tag, nullptr, logical_bytes);
+  }
+
+  /// Blocking receive of a non-owning view of the payload. Reading is
+  /// always safe; call `.take()` to copy out where mutation is needed
+  /// (free — a storage handover — for point-to-point payloads).
+  [[nodiscard]] BufferView recv_view(int src, Tag tag) const {
+    Message msg = net_->receive(rank_, src, tag);
+    return BufferView(std::move(msg.shared), std::move(msg.exclusive),
+                      msg.logical_bytes);
+  }
+
+  // --- point-to-point, exclusive payloads ----------------------------------
 
   /// Send `data` (8 B/element on the wire) to `dst`.
   void send(int dst, Tag tag, std::span<const double> data) const {
-    Message msg;
-    msg.payload.assign(data.begin(), data.end());
-    msg.logical_bytes = data.size() * sizeof(double);
-    net_->deliver(rank_, dst, tag, std::move(msg));
+    send(dst, tag, std::vector<double>(data.begin(), data.end()));
   }
 
-  /// Move-send an owned buffer (avoids the copy for large panels).
+  /// Move-send an owned buffer (no copy at all for large panels: the
+  /// receiver's `take()` gets this very storage).
   void send(int dst, Tag tag, std::vector<double>&& data) const {
     Message msg;
     msg.logical_bytes = data.size() * sizeof(double);
-    msg.payload = std::move(data);
+    msg.exclusive = std::move(data);
     net_->deliver(rank_, dst, tag, std::move(msg));
   }
 
-  /// Send int indices (4 B/element on the wire; transported as doubles,
-  /// which represent indices < 2^53 exactly).
+  /// Send int indices, bit-packed two per double slot (4 B/element on the
+  /// wire, exactly).
   void send_ints(int dst, Tag tag, std::span<const int> data) const {
     Message msg;
-    msg.payload.reserve(data.size());
-    for (int x : data) msg.payload.push_back(static_cast<double>(x));
     msg.logical_bytes = data.size() * sizeof(int);
+    msg.exclusive = pack_ints(data);
     net_->deliver(rank_, dst, tag, std::move(msg));
   }
 
-  /// Blocking receive of a double buffer from `src`.
+  /// Blocking receive of a double buffer from `src` (private copy).
   [[nodiscard]] std::vector<double> recv(int src, Tag tag) const {
-    return net_->receive(rank_, src, tag).payload;
+    return recv_view(src, tag).take();
   }
 
   /// Blocking receive of an int index buffer from `src`.
   [[nodiscard]] std::vector<int> recv_ints(int src, Tag tag) const {
-    const Message msg = net_->receive(rank_, src, tag);
-    std::vector<int> out;
-    out.reserve(msg.payload.size());
-    for (double x : msg.payload) out.push_back(static_cast<int>(x));
-    return out;
+    const BufferView view = recv_view(src, tag);
+    return unpack_ints(view, view.logical_bytes() / sizeof(int));
   }
 
   // --- point-to-point, ghost (dry-run) ------------------------------------

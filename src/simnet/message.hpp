@@ -1,9 +1,19 @@
 /// \file message.hpp
-/// Message and tag types for the simulated message-passing fabric.
+/// Message, tag and payload-buffer types for the simulated message-passing
+/// fabric. Payloads come in two flavours: an *exclusive* buffer owned by a
+/// single recipient (point-to-point sends move it through the mailbox with
+/// zero copies), and an *immutable shared* buffer that can sit in many
+/// mailboxes at once (multicast, broadcast trees) the way real MPI
+/// broadcast trees and RDMA transports share registered buffers. Receivers
+/// get a non-owning BufferView over either flavour and copy out explicitly
+/// (`take()`) only where mutation is needed.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 namespace conflux::simnet {
@@ -22,13 +32,82 @@ using Tag = std::uint64_t;
          static_cast<Tag>(sub & 0xFFF);
 }
 
-/// A message in flight. `payload` may be empty for "ghost" messages used in
-/// dry-run mode: those carry only a logical byte count, which is what the
-/// communication-volume accounting consumes. `logical_bytes` is the number
-/// of bytes the message would occupy on a real network (8 per double, 4 per
-/// int index), independent of whether the payload is materialized.
+/// An immutable, shareable payload. All recipients of a multicast alias the
+/// same storage; nobody mutates it (BufferView::take copies out).
+using SharedBuffer = std::shared_ptr<const std::vector<double>>;
+
+/// Wrap an owned vector as an immutable shared payload (no copy).
+[[nodiscard]] inline SharedBuffer make_shared_buffer(
+    std::vector<double>&& data) {
+  return std::make_shared<std::vector<double>>(std::move(data));
+}
+
+/// Copy a span into a fresh immutable shared payload.
+[[nodiscard]] inline SharedBuffer make_shared_buffer(
+    std::span<const double> data) {
+  return std::make_shared<std::vector<double>>(data.begin(), data.end());
+}
+
+/// A receiver's non-owning handle to a delivered payload. The data may be
+/// aliased by other recipients of the same multicast; reading is always
+/// safe, and `take()` produces a private mutable copy (free for exclusive
+/// point-to-point payloads: their storage is simply handed over).
+class BufferView {
+ public:
+  BufferView() = default;
+  explicit BufferView(SharedBuffer shared, std::size_t logical_bytes = 0)
+      : shared_(std::move(shared)), logical_bytes_(logical_bytes) {}
+  BufferView(SharedBuffer shared, std::vector<double>&& exclusive,
+             std::size_t logical_bytes)
+      : shared_(std::move(shared)),
+        owned_(std::move(exclusive)),
+        logical_bytes_(logical_bytes) {}
+
+  /// Wire size of the message this view came from (4 B/int, 8 B/double).
+  [[nodiscard]] std::size_t logical_bytes() const { return logical_bytes_; }
+  [[nodiscard]] std::size_t size() const {
+    return shared_ ? shared_->size() : owned_.size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] const double* data() const {
+    return shared_ ? shared_->data() : owned_.data();
+  }
+  [[nodiscard]] std::span<const double> span() const {
+    return shared_ ? std::span<const double>(*shared_)
+                   : std::span<const double>(owned_);
+  }
+  [[nodiscard]] double operator[](std::size_t i) const { return data()[i]; }
+
+  /// The underlying shared payload (for zero-copy re-forwarding down a
+  /// broadcast tree); null for exclusive point-to-point payloads.
+  [[nodiscard]] const SharedBuffer& shared() const { return shared_; }
+
+  /// Copy the payload out into a private, mutable vector, releasing this
+  /// view. Exclusive payloads are moved (zero-copy — the mailbox handoff
+  /// already transferred sole ownership under the channel mutex); shared
+  /// payloads are copied, never mutated in place.
+  [[nodiscard]] std::vector<double> take() && {
+    if (shared_) return *shared_;
+    return std::move(owned_);
+  }
+
+ private:
+  SharedBuffer shared_;
+  std::vector<double> owned_;
+  std::size_t logical_bytes_ = 0;
+};
+
+/// A message in flight. Exactly one of `shared` / `exclusive` carries data
+/// — or neither, for the "ghost" messages of dry-run mode, which carry only
+/// a logical byte count (what the communication-volume accounting
+/// consumes). `logical_bytes` is the number of bytes the message would
+/// occupy on a real network (8 per double, 4 per int index), independent of
+/// whether a payload is materialized. A multicast enqueues the same
+/// refcounted `shared` payload into every destination mailbox, so N
+/// recipients share one buffer in real memory.
 struct Message {
-  std::vector<double> payload;
+  SharedBuffer shared;
+  std::vector<double> exclusive;
   std::size_t logical_bytes = 0;
 };
 

@@ -1,49 +1,201 @@
 #include "simnet/network.hpp"
 
+#include <algorithm>
+
 #include "support/assert.hpp"
 
 namespace conflux::simnet {
 
+namespace {
+
+/// Beyond this many sources, channel slots are shared (src % slots). Only
+/// the destination thread waits on a slot, so sharing never adds waiters —
+/// it only coarsens the wakeup filter at very large rank counts.
+constexpr std::size_t kMaxChannelSlots = 64;
+
+/// CPU-relax between spin probes.
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+}  // namespace
+
 Network::Network(int nranks)
-    : boxes_(static_cast<std::size_t>(nranks)), stats_(nranks) {
+    : nranks_(nranks),
+      slots_per_rank_(
+          std::min<std::size_t>(static_cast<std::size_t>(nranks),
+                                kMaxChannelSlots)),
+      channels_(static_cast<std::size_t>(nranks) * slots_per_rank_),
+      stats_(nranks) {
   CONFLUX_EXPECTS(nranks >= 1);
+  // Spinning before blocking only pays when senders can make progress on
+  // another core while the receiver burns cycles; on an oversubscribed host
+  // the receiver must yield the core immediately instead.
+  const unsigned hw = std::thread::hardware_concurrency();
+  spin_iters_ = (hw > 1 && static_cast<int>(hw) >= nranks) ? 128 : 0;
+}
+
+Network::~Network() { stop_team(); }
+
+void Network::enqueue(Channel& ch, int src, Tag tag, Message msg) {
+  bool wake = false;
+  {
+    const std::lock_guard<std::mutex> lock(ch.mutex);
+    ch.queues[{src, tag}].push_back(std::move(msg));
+    wake = ch.waiting && ch.waiting_src == src && ch.waiting_tag == tag;
+  }
+  if (wake) ch.cv.notify_one();
 }
 
 void Network::deliver(int src, int dst, Tag tag, Message msg) {
   CONFLUX_EXPECTS(src >= 0 && src < size() && dst >= 0 && dst < size());
   stats_.record_send(src, dst, msg.logical_bytes);
-  Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
-  {
-    const std::lock_guard<std::mutex> lock(box.mutex);
-    box.queues[{src, tag}].push_back(std::move(msg));
+  enqueue(channel(dst, src), src, tag, std::move(msg));
+}
+
+void Network::multicast(int src, std::span<const int> dsts, Tag tag,
+                        SharedBuffer payload, std::size_t logical_bytes) {
+  CONFLUX_EXPECTS(src >= 0 && src < size());
+  for (int dst : dsts) {
+    CONFLUX_EXPECTS(dst >= 0 && dst < size());
+    stats_.record_send(src, dst, logical_bytes);
+    enqueue(channel(dst, src), src, tag, Message{payload, {}, logical_bytes});
   }
-  box.cv.notify_all();
 }
 
 Message Network::receive(int me, int src, Tag tag) {
   CONFLUX_EXPECTS(me >= 0 && me < size() && src >= 0 && src < size());
-  Mailbox& box = boxes_[static_cast<std::size_t>(me)];
-  std::unique_lock<std::mutex> lock(box.mutex);
+  Channel& ch = channel(me, src);
   const auto key = std::make_pair(src, tag);
+
+  auto try_pop = [&](Message& out) {
+    const auto it = ch.queues.find(key);
+    if (it == ch.queues.end() || it->second.empty()) return false;
+    out = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) ch.queues.erase(it);
+    return true;
+  };
+
+  Message msg;
+  // Short spin: cheap when a matching send is already in flight on another
+  // core; skipped entirely (spin_iters_ == 0) when ranks outnumber cores.
+  for (int i = 0; i < spin_iters_; ++i) {
+    {
+      std::unique_lock<std::mutex> lock(ch.mutex, std::try_to_lock);
+      if (lock.owns_lock() && try_pop(msg)) return msg;
+    }
+    if (aborted()) throw JobAborted{};
+    cpu_pause();
+  }
+
+  std::unique_lock<std::mutex> lock(ch.mutex);
   for (;;) {
     if (aborted()) throw JobAborted{};
-    auto it = box.queues.find(key);
-    if (it != box.queues.end() && !it->second.empty()) {
-      Message msg = std::move(it->second.front());
-      it->second.pop_front();
-      if (it->second.empty()) box.queues.erase(it);
+    if (try_pop(msg)) {
+      ch.waiting = false;
       return msg;
     }
-    box.cv.wait(lock);
+    ch.waiting = true;
+    ch.waiting_src = src;
+    ch.waiting_tag = tag;
+    ch.cv.wait(lock);
   }
 }
 
 void Network::abort() {
   aborted_.store(true, std::memory_order_release);
-  for (auto& box : boxes_) {
-    const std::lock_guard<std::mutex> lock(box.mutex);
-    box.cv.notify_all();
+  for (auto& ch : channels_) {
+    const std::lock_guard<std::mutex> lock(ch.mutex);
+    ch.cv.notify_all();
   }
+}
+
+// --- persistent rank team ---------------------------------------------------
+
+void Network::start_team() {
+  if (!team_.empty()) return;
+  team_.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r)
+    team_.emplace_back([this, r] { team_worker(r); });
+}
+
+void Network::stop_team() {
+  {
+    const std::lock_guard<std::mutex> lock(team_mutex_);
+    team_shutdown_ = true;
+  }
+  team_work_cv_.notify_all();
+  for (auto& t : team_) t.join();
+  team_.clear();
+}
+
+void Network::team_worker(int rank) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(team_mutex_);
+      team_work_cv_.wait(lock, [&] {
+        return team_shutdown_ || team_generation_ != seen;
+      });
+      if (team_shutdown_) return;
+      seen = team_generation_;
+      job = team_job_;
+    }
+    try {
+      (*job)(rank);
+    } catch (const JobAborted&) {
+      // Another rank failed first; nothing to record.
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(team_mutex_);
+        if (!team_error_) team_error_ = std::current_exception();
+      }
+      abort();
+    }
+    bool last = false;
+    {
+      const std::lock_guard<std::mutex> lock(team_mutex_);
+      last = (--team_remaining_ == 0);
+    }
+    if (last) team_done_cv_.notify_all();
+  }
+}
+
+void Network::run_team(const std::function<void(int)>& job) {
+  // A previous run may have been aborted mid-flight: reset the flag and
+  // drain any stale messages so the new run starts from a clean fabric.
+  if (aborted()) {
+    for (auto& ch : channels_) {
+      const std::lock_guard<std::mutex> lock(ch.mutex);
+      ch.queues.clear();
+      ch.waiting = false;
+    }
+    aborted_.store(false, std::memory_order_release);
+  }
+  start_team();
+  {
+    const std::lock_guard<std::mutex> lock(team_mutex_);
+    team_job_ = &job;
+    team_error_ = nullptr;
+    team_remaining_ = nranks_;
+    ++team_generation_;
+  }
+  team_work_cv_.notify_all();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(team_mutex_);
+    team_done_cv_.wait(lock, [&] { return team_remaining_ == 0; });
+    team_job_ = nullptr;
+    error = std::move(team_error_);
+    team_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace conflux::simnet

@@ -1,15 +1,20 @@
 /// \file network.hpp
-/// The simulated interconnect: P mailboxes with (source, tag) matching and
-/// FIFO ordering per (source, destination, tag) channel — the ordering
-/// guarantee MPI gives for matching sends/receives.
+/// The simulated interconnect: per-(destination, source) channel slots with
+/// tag matching and FIFO ordering per (source, destination, tag) channel —
+/// the ordering guarantee MPI gives for matching sends/receives. The
+/// Network also owns the persistent rank team: one OS thread per simulated
+/// rank, created once and reused across successive SPMD runs.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -28,20 +33,44 @@ class JobAborted : public std::runtime_error {
 /// A shared-memory stand-in for the machine's network fabric. Sends are
 /// asynchronous (never block — unbounded mailboxes); receives block until a
 /// matching message arrives. All byte accounting flows through `stats()`.
+///
+/// Concurrency design: each destination owns an array of channel slots,
+/// one per source (hashed down to at most kMaxChannelSlots). Only the
+/// destination rank's thread ever waits on a slot, so a deliver wakes at
+/// most one thread, and it does so with a targeted `notify_one` — and only
+/// when the receiver is actually parked on the (source, tag) pair being
+/// delivered. Receivers spin briefly before blocking when the host has
+/// spare cores; on oversubscribed hosts (fewer cores than ranks) they block
+/// immediately.
 class Network {
  public:
   explicit Network(int nranks);
+  ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  [[nodiscard]] int size() const { return static_cast<int>(boxes_.size()); }
+  [[nodiscard]] int size() const { return nranks_; }
 
   /// Deposit a message from `src` into `dst`'s mailbox under `tag`.
   void deliver(int src, int dst, Tag tag, Message msg);
 
+  /// Deposit the same immutable payload into every destination's mailbox.
+  /// Zero copies: all recipients share one refcounted buffer. Accounting is
+  /// identical to `dsts.size()` point-to-point sends of the same size.
+  void multicast(int src, std::span<const int> dsts, Tag tag,
+                 SharedBuffer payload, std::size_t logical_bytes);
+
   /// Block until a message from `src` with `tag` is available for `me`.
   [[nodiscard]] Message receive(int me, int src, Tag tag);
+
+  /// Run `job(rank)` once for every rank on the persistent rank team.
+  /// Threads are created lazily on the first call and reused by later
+  /// calls (and by later runs over the same Network). If any rank throws,
+  /// the job is aborted (blocked receives wake up with JobAborted) and the
+  /// first exception is rethrown here; a subsequent run resets the abort
+  /// flag and drains any stale messages.
+  void run_team(const std::function<void(int)>& job);
 
   /// Mark the job as aborted and wake all blocked receivers.
   void abort();
@@ -53,15 +82,46 @@ class Network {
   [[nodiscard]] const StatsBoard& stats() const { return stats_; }
 
  private:
-  struct Mailbox {
+  /// One (destination, source-slot) channel. Queues are keyed by
+  /// (source, tag) so slot sharing at very large rank counts stays correct.
+  struct Channel {
     std::mutex mutex;
     std::condition_variable cv;
     std::map<std::pair<int, Tag>, std::deque<Message>> queues;
+    // What the destination thread is parked on, if anything. Guarded by
+    // `mutex`; lets deliver skip the notify for non-matching traffic.
+    int waiting_src = -1;
+    Tag waiting_tag = 0;
+    bool waiting = false;
   };
 
-  std::vector<Mailbox> boxes_;
+  [[nodiscard]] Channel& channel(int dst, int src) {
+    return channels_[static_cast<std::size_t>(dst) * slots_per_rank_ +
+                     static_cast<std::size_t>(src) % slots_per_rank_];
+  }
+  void enqueue(Channel& ch, int src, Tag tag, Message msg);
+
+  int nranks_ = 0;
+  std::size_t slots_per_rank_ = 0;
+  std::vector<Channel> channels_;
   StatsBoard stats_;
   std::atomic<bool> aborted_{false};
+  int spin_iters_ = 0;  ///< 0 on oversubscribed hosts
+
+  // --- persistent rank team -------------------------------------------------
+  void team_worker(int rank);
+  void start_team();
+  void stop_team();
+
+  std::vector<std::thread> team_;
+  std::mutex team_mutex_;
+  std::condition_variable team_work_cv_;   ///< workers wait for a generation
+  std::condition_variable team_done_cv_;   ///< caller waits for completion
+  const std::function<void(int)>* team_job_ = nullptr;
+  std::uint64_t team_generation_ = 0;
+  int team_remaining_ = 0;
+  bool team_shutdown_ = false;
+  std::exception_ptr team_error_;
 };
 
 }  // namespace conflux::simnet

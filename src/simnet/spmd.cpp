@@ -1,40 +1,14 @@
 #include "simnet/spmd.hpp"
 
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
-
 #include "support/assert.hpp"
 
 namespace conflux::simnet {
 
 void run_spmd(Network& net, const std::function<void(Comm&)>& body) {
-  const int nranks = net.size();
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nranks));
-
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-
-  for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&, r] {
-      try {
-        Comm comm(net, r);
-        body(comm);
-      } catch (const JobAborted&) {
-        // Another rank failed first; nothing to record.
-      } catch (...) {
-        {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-        net.abort();
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  net.run_team([&](int rank) {
+    Comm comm(net, rank);
+    body(comm);
+  });
 }
 
 CommVolume run_spmd(int nranks, const std::function<void(Comm&)>& body) {

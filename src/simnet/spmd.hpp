@@ -1,6 +1,9 @@
 /// \file spmd.hpp
 /// The SPMD launcher: runs one OS thread per simulated rank, exactly like
-/// `mpirun -np P` launches P processes over a single program body.
+/// `mpirun -np P` launches P processes over a single program body. The
+/// threads belong to the Network's persistent rank team — created once per
+/// Network and reused by every subsequent run over it, so repeated runs
+/// (benchmark sweeps, multi-phase jobs) pay the thread-spawn cost once.
 #pragma once
 
 #include <functional>
@@ -16,7 +19,8 @@ namespace conflux::simnet {
 CommVolume run_spmd(int nranks, const std::function<void(Comm&)>& body);
 
 /// As run_spmd, but over a caller-provided network (so the caller can read
-/// per-rank statistics afterwards). The network's rank count must match.
+/// per-rank statistics afterwards, and repeated runs reuse the network's
+/// rank team). The network's rank count must match.
 void run_spmd(Network& net, const std::function<void(Comm&)>& body);
 
 }  // namespace conflux::simnet

@@ -18,7 +18,7 @@ TEST_P(CollectiveP, BcastDeliversToAll) {
     const Group g = Group::iota(p);
     for (int root = 0; root < std::min(p, 3); ++root) {
       std::vector<double> data;
-      if (comm.rank() == g.ranks[static_cast<std::size_t>(root)])
+      if (comm.rank() == g.at(root))
         data = {1.0, 2.0, 3.0};
       bcast(comm, g, root, data, make_tag(1, static_cast<std::uint32_t>(root)));
       ASSERT_EQ(data.size(), 3u);
@@ -163,10 +163,34 @@ TEST_P(CollectiveP, BcastIntsDelivers) {
   run_spmd(p, [&](Comm& comm) {
     const Group g = Group::iota(p);
     std::vector<int> data;
-    if (comm.rank() == 0) data = {3, 1, 4, 1, 5};
+    if (comm.rank() == 0) data = {3, -1, 4, 1 << 20, 5};
     bcast_ints(comm, g, 0, data, make_tag(7, 0));
-    EXPECT_EQ(data, (std::vector<int>{3, 1, 4, 1, 5}));
+    EXPECT_EQ(data, (std::vector<int>{3, -1, 4, 1 << 20, 5}));
   });
+}
+
+TEST_P(CollectiveP, BcastIntsVolumeIsExactly4BytesPerElement) {
+  // The packed int path must account exactly sizeof(int) per element per
+  // tree edge — the same volume a ghost broadcast of the int payload
+  // reports (volume parity between the real and dry-run paths).
+  const int p = GetParam();
+  const std::size_t count = 57;
+  Network real(p), ghost(p);
+  run_spmd(real, [&](Comm& comm) {
+    const Group g = Group::iota(p);
+    std::vector<int> data;
+    if (comm.rank() == 0) data.assign(count, 9);
+    bcast_ints(comm, g, 0, data, make_tag(7, 1));
+  });
+  run_spmd(ghost, [&](Comm& comm) {
+    const Group g = Group::iota(p);
+    (void)bcast_ghost(comm, g, 0, count * sizeof(int), make_tag(7, 1));
+  });
+  EXPECT_EQ(real.stats().total().bytes_sent,
+            static_cast<std::uint64_t>(p - 1) * count * sizeof(int));
+  EXPECT_EQ(real.stats().total().bytes_sent, ghost.stats().total().bytes_sent);
+  EXPECT_EQ(real.stats().total().messages_sent,
+            ghost.stats().total().messages_sent);
 }
 
 INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveP,

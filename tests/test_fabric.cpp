@@ -1,0 +1,267 @@
+// Tests for the zero-copy fabric: shared immutable payloads, the multicast
+// primitive and its accounting, the immutability/aliasing contract,
+// FIFO-per-channel ordering under concurrent interleaved-tag stress, and
+// the persistent rank-team lifecycle.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "simnet/collectives.hpp"
+#include "simnet/comm.hpp"
+#include "simnet/spmd.hpp"
+
+namespace conflux::simnet {
+namespace {
+
+TEST(Buffer, TakeHandsOverExclusivePayloadStorage) {
+  // A move-send's storage travels through the mailbox untouched: the
+  // receiver's take() gets the sender's very allocation (zero-copy p2p).
+  const double* sent = nullptr;
+  const double* got = nullptr;
+  run_spmd(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> big(1000, 3.0);
+      sent = big.data();
+      comm.send(1, 1, std::move(big));
+    } else {
+      const std::vector<double> out = comm.recv_view(0, 1).take();
+      got = out.data();
+      EXPECT_EQ(out.size(), 1000u);
+      EXPECT_EQ(out[999], 3.0);
+    }
+  });
+  EXPECT_EQ(sent, got);
+}
+
+TEST(Buffer, TakeCopiesSharedPayloads) {
+  // Shared (multicast) payloads are immutable: take() always copies, never
+  // mutates the aliased storage.
+  SharedBuffer buf = make_shared_buffer(std::vector<double>{4.0, 5.0});
+  const SharedBuffer keep = buf;
+  std::vector<double> out = BufferView(std::move(buf)).take();
+  EXPECT_NE(out.data(), keep->data());
+  EXPECT_EQ(out, (std::vector<double>{4.0, 5.0}));
+  EXPECT_EQ((*keep)[0], 4.0);
+}
+
+TEST(Multicast, RecipientsAliasOneBuffer) {
+  const int p = 5;
+  std::vector<const double*> seen(p, nullptr);
+  run_spmd(p, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> dsts;
+      for (int r = 1; r < p; ++r) dsts.push_back(r);
+      comm.multicast(dsts, 1,
+                     make_shared_buffer(std::vector<double>{7.0, 8.0}));
+    } else {
+      const BufferView view = comm.recv_view(0, 1);
+      ASSERT_EQ(view.size(), 2u);
+      EXPECT_EQ(view[1], 8.0);
+      seen[static_cast<std::size_t>(comm.rank())] = view.data();
+    }
+  });
+  // Zero-copy: every recipient observed the same physical storage.
+  for (int r = 2; r < p; ++r) EXPECT_EQ(seen[static_cast<std::size_t>(r)],
+                                        seen[1]);
+}
+
+TEST(Multicast, TakeIsolatesRecipientMutations) {
+  // The immutability contract: one recipient copying out and mutating must
+  // not be observable by any other recipient of the same multicast.
+  const int p = 4;
+  run_spmd(p, [&](Comm& comm) {
+    const Group world = Group::iota(p);
+    if (comm.rank() == 0) {
+      std::vector<int> dsts = {1, 2, 3};
+      comm.multicast(dsts, 1,
+                     make_shared_buffer(std::vector<double>{1.0, 2.0, 3.0}));
+    } else if (comm.rank() == 1) {
+      // Mutator: copies out and scribbles, then signals.
+      std::vector<double> mine = comm.recv_view(0, 1).take();
+      for (double& x : mine) x = -999.0;
+      for (int r = 2; r < p; ++r) comm.send_ghost(r, 2, 0);
+    } else {
+      // Readers: hold the view across the mutator's scribble.
+      const BufferView view = comm.recv_view(0, 1);
+      (void)comm.recv_ghost(1, 2);  // mutation has happened by now
+      EXPECT_EQ(view[0], 1.0);
+      EXPECT_EQ(view[1], 2.0);
+      EXPECT_EQ(view[2], 3.0);
+    }
+    barrier(comm, world, 99);
+  });
+}
+
+TEST(Multicast, AccountingMatchesIndividualSends) {
+  const int p = 6;
+  Network net(p);
+  run_spmd(net, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> dsts = {1, 2, 3, 4, 5};
+      comm.multicast(dsts, 3, make_shared_buffer(std::vector<double>(10)));
+    } else {
+      (void)comm.recv_view(0, 3);
+    }
+  });
+  EXPECT_EQ(net.stats().total().bytes_sent, 5u * 10 * sizeof(double));
+  EXPECT_EQ(net.stats().total().bytes_received, 5u * 10 * sizeof(double));
+  EXPECT_EQ(net.stats().total().messages_sent, 5u);
+  EXPECT_EQ(net.stats().rank_volume(0).bytes_sent, 5u * 10 * sizeof(double));
+  EXPECT_EQ(net.stats().rank_volume(3).bytes_received, 10 * sizeof(double));
+}
+
+TEST(Multicast, SelfDeliveryIsFreeButDelivered) {
+  Network net(2);
+  run_spmd(net, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> dsts = {0, 1};  // includes self, like the layer
+                                       // multicasts in the 2.5D kernels
+      comm.multicast(dsts, 7, make_shared_buffer(std::vector<double>{6.0}));
+      EXPECT_EQ(comm.recv_view(0, 7)[0], 6.0);
+    } else {
+      EXPECT_EQ(comm.recv_view(0, 7)[0], 6.0);
+    }
+  });
+  // The self-copy is free under the uniform remote-cost model.
+  EXPECT_EQ(net.stats().total().bytes_sent, 1u * sizeof(double));
+  EXPECT_EQ(net.stats().total().messages_sent, 1u);
+}
+
+TEST(Multicast, GhostAccountingMatchesReal) {
+  const int p = 5;
+  Network real(p), ghost(p);
+  const std::vector<int> dsts = {1, 2, 3, 4};
+  run_spmd(real, [&](Comm& comm) {
+    if (comm.rank() == 0)
+      comm.multicast(dsts, 1, make_shared_buffer(std::vector<double>(33)));
+    else
+      (void)comm.recv_view(0, 1);
+  });
+  run_spmd(ghost, [&](Comm& comm) {
+    if (comm.rank() == 0)
+      comm.multicast_ghost(dsts, 1, 33 * sizeof(double));
+    else
+      EXPECT_EQ(comm.recv_ghost(0, 1), 33 * sizeof(double));
+  });
+  EXPECT_EQ(real.stats().total().bytes_sent, ghost.stats().total().bytes_sent);
+  EXPECT_EQ(real.stats().total().messages_sent,
+            ghost.stats().total().messages_sent);
+}
+
+TEST(Fabric, FifoPerChannelUnderInterleavedTagStress) {
+  // Many ranks, several concurrent senders per receiver, interleaved tags:
+  // per-(source, destination, tag) channels must each stay FIFO even though
+  // messages of different tags interleave arbitrarily on the same pair.
+  const int p = 16;
+  const int per_tag = 40;
+  const Tag tags[] = {11, 22, 33};
+  run_spmd(p, [&](Comm& comm) {
+    const int me = comm.rank();
+    const int next = (me + 1) % p;
+    const int prev = (me + p - 1) % p;
+    const int next2 = (me + 2) % p;
+    const int prev2 = (me + p - 2) % p;
+    // Round-robin the tag streams so their messages interleave per channel.
+    for (int i = 0; i < per_tag; ++i) {
+      for (Tag t : tags) {
+        comm.send(next, t,
+                  std::vector<double>{static_cast<double>(i), double(t)});
+        comm.send(next2, t + 100,
+                  std::vector<double>{static_cast<double>(i)});
+      }
+    }
+    // Drain the far stream first, then the near streams in reverse tag
+    // order: ordering within each channel must still be send order.
+    for (int i = 0; i < per_tag; ++i)
+      for (Tag t : tags)
+        EXPECT_EQ(comm.recv_view(prev2, t + 100)[0], static_cast<double>(i));
+    for (auto it = std::rbegin(tags); it != std::rend(tags); ++it) {
+      for (int i = 0; i < per_tag; ++i) {
+        const BufferView v = comm.recv_view(prev, *it);
+        EXPECT_EQ(v[0], static_cast<double>(i));
+        EXPECT_EQ(v[1], static_cast<double>(*it));
+      }
+    }
+  });
+}
+
+TEST(RankTeam, ThreadsAreReusedAcrossRuns) {
+  const int p = 8;
+  Network net(p);
+  std::vector<std::thread::id> first(p), second(p);
+  run_spmd(net, [&](Comm& comm) {
+    first[static_cast<std::size_t>(comm.rank())] = std::this_thread::get_id();
+  });
+  run_spmd(net, [&](Comm& comm) {
+    second[static_cast<std::size_t>(comm.rank())] = std::this_thread::get_id();
+  });
+  for (int r = 0; r < p; ++r)
+    EXPECT_EQ(first[static_cast<std::size_t>(r)],
+              second[static_cast<std::size_t>(r)])
+        << "rank " << r << " ran on a fresh thread";
+}
+
+TEST(RankTeam, StatsAccumulateAcrossRuns) {
+  Network net(2);
+  const auto body = [](Comm& comm) {
+    if (comm.rank() == 0)
+      comm.send(1, 1, std::vector<double>(4));
+    else
+      (void)comm.recv_view(0, 1);
+  };
+  run_spmd(net, body);
+  run_spmd(net, body);
+  EXPECT_EQ(net.stats().total().bytes_sent, 2u * 4 * sizeof(double));
+  EXPECT_EQ(net.stats().total().messages_sent, 2u);
+}
+
+TEST(RankTeam, RecoversAfterAbortedRun) {
+  Network net(3);
+  EXPECT_THROW(run_spmd(net,
+                        [](Comm& comm) {
+                          if (comm.rank() == 0)
+                            throw std::runtime_error("boom");
+                          // Leave a stale message behind, then block.
+                          comm.send(2, 5, std::vector<double>{1.0});
+                          (void)comm.recv_view(0, 99);
+                        }),
+               std::runtime_error);
+  EXPECT_TRUE(net.aborted());
+  // A later run over the same network starts from a clean fabric: the abort
+  // flag resets and rank 2 must not see rank 1's stale tag-5 message.
+  std::atomic<int> clean{0};
+  run_spmd(net, [&](Comm& comm) {
+    if (comm.rank() == 1) {
+      comm.send(2, 5, std::vector<double>{2.0});
+    } else if (comm.rank() == 2) {
+      if (comm.recv_view(1, 5)[0] == 2.0) clean.fetch_add(1);
+    }
+  });
+  EXPECT_FALSE(net.aborted());
+  EXPECT_EQ(clean.load(), 1);
+}
+
+TEST(Fabric, ManyToOneContention) {
+  // All ranks hammer one receiver's channels concurrently; counts and
+  // per-source FIFO must survive.
+  const int p = 32;
+  const int msgs = 25;
+  Network net(p);
+  run_spmd(net, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int r = 1; r < p; ++r)
+        for (int i = 0; i < msgs; ++i)
+          EXPECT_EQ(comm.recv_view(r, 4)[0], static_cast<double>(i));
+    } else {
+      for (int i = 0; i < msgs; ++i)
+        comm.send(0, 4, std::vector<double>{static_cast<double>(i)});
+    }
+  });
+  EXPECT_EQ(net.stats().total().messages_sent,
+            static_cast<std::uint64_t>(p - 1) * msgs);
+}
+
+}  // namespace
+}  // namespace conflux::simnet

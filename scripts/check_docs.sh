@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Documentation lint, run by the CI "docs" job (and locally via
-# `scripts/check_docs.sh`). Two invariants:
+# `scripts/check_docs.sh`). Three invariants:
 #
 #  1. Every header under src/ opens with a `/// \file` doc comment (the
 #     house style of conflux25d.hpp/spmd.hpp).
 #  2. Every intra-repo Markdown link resolves to an existing file.
 #     External links (http/https/mailto) and pure #anchors are ignored;
 #     `path#anchor` links are checked for the path part only.
+#  3. No stale CLI flags: every `--flag` a Markdown line mentions alongside
+#     one of the repo's binaries (commcheck, bench_*) must appear literally
+#     in that binary's source, so docs cannot outlive a renamed or removed
+#     option.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 fail=0
@@ -36,7 +40,36 @@ while IFS= read -r md; do
   done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
 done < <(find . -name build -prune -o -name '*.md' -print | sort)
 
+# --- 3: stale CLI flag references --------------------------------------------
+# Map a documented binary name to the source file defining its flags.
+flag_source_for() {
+  case "$1" in
+    commcheck) echo "tools/commcheck.cpp" ;;
+    bench_*) echo "bench/$1.cpp" ;;
+  esac
+}
+
+while IFS= read -r md; do
+  while IFS= read -r line; do
+    for bin in $(grep -oE '\b(commcheck|bench_[a-z0-9_]+)\b' <<<"$line" |
+                 sort -u); do
+      src=$(flag_source_for "$bin")
+      [ -f "$src" ] || continue  # binary gated off (e.g. bench_kernels): skip
+      for flag in $(grep -oE '\-\-[a-z][a-z0-9_-]*' <<<"$line" | sort -u); do
+        case "$flag" in
+          --benchmark_*) continue ;;  # google-benchmark built-ins
+        esac
+        if ! grep -qF -- "$flag" "$src"; then
+          echo "error: $md mentions flag '$flag' of $bin, not found in $src" >&2
+          fail=1
+        fi
+      done
+    done
+  done < <(grep -E '\b(commcheck|bench_[a-z0-9_]+)\b.*--[a-z]' "$md" || true)
+done < <(find . -mindepth 1 \( -name build -o -name '.*' \) -prune -o \
+         -name '*.md' -print | sort)
+
 if [ "$fail" -eq 0 ]; then
-  echo "docs lint OK: all src headers carry \\file comments, all intra-repo links resolve"
+  echo "docs lint OK: src headers carry \\file comments, intra-repo links resolve, documented CLI flags exist"
 fi
 exit "$fail"

@@ -442,6 +442,7 @@ CholResult Confchox25D::run(const linalg::Matrix* a, const CholConfig& cfg) {
   std::atomic<bool> not_spd{false};
 
   simnet::Network net(plan.active);
+  if (cfg.trace != nullptr) net.set_trace(cfg.trace);
   const simnet::Group world = simnet::Group::iota(plan.active);
 
   Stopwatch timer;

@@ -247,6 +247,7 @@ CholResult Scalapack2DCholesky::run(const linalg::Matrix* a,
   }
 
   simnet::Network net(g.active());
+  if (cfg.trace != nullptr) net.set_trace(cfg.trace);
   Stopwatch timer;
   simnet::run_spmd(net,
                    [&](simnet::Comm& comm) { cholesky2d_body(comm, params); });

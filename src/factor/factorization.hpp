@@ -24,6 +24,7 @@
 
 namespace conflux::simnet {
 class Network;
+class TraceRecorder;
 }  // namespace conflux::simnet
 
 namespace conflux::factor {
@@ -56,6 +57,13 @@ struct FactorConfig {
   bool verify = true;             ///< Numeric: assemble factors and check
   bool keep_factors = false;      ///< Numeric: retain the factors in the
                                   ///< result (lu/solve.hpp consumes them)
+
+  /// Optional schedule export: when set, the run's Network attaches this
+  /// recorder, so every send/multicast/receive lands in a per-rank event
+  /// log (simnet/trace.hpp). This is how the static verifier
+  /// (src/verify, tools/commcheck) extracts the communication graph of a
+  /// dry run; numeric runs can attach it too to check the dry-run contract.
+  simnet::TraceRecorder* trace = nullptr;
 };
 
 /// The common part of one factorization run's result. Derived result types

@@ -741,6 +741,7 @@ LuResult Conflux25D::run(const linalg::Matrix* a, const LuConfig& cfg) {
   }
 
   simnet::Network net(plan.active);
+  if (cfg.trace != nullptr) net.set_trace(cfg.trace);
   const simnet::Group world = simnet::Group::iota(plan.active);
 
   Stopwatch timer;

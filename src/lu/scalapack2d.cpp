@@ -491,6 +491,7 @@ LuResult ScaLapack2D::run(const linalg::Matrix* a, const LuConfig& cfg) {
   }
 
   simnet::Network net(g.active());
+  if (cfg.trace != nullptr) net.set_trace(cfg.trace);
   Stopwatch timer;
   simnet::run_spmd(net,
                    [&](simnet::Comm& comm) { scalapack2d_body(comm, params); });

@@ -13,10 +13,17 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
 namespace conflux::simnet {
+
+/// Report a buffer-ownership violation (use-after-take, mutation of an
+/// in-flight shared payload) through the process-wide debug hook installed
+/// via set_buffer_misuse_handler (trace.hpp). The default handler throws
+/// ContractViolation.
+void report_buffer_misuse(const std::string& what);
 
 /// Message tag. Collective operations derive internal round tags by shifting
 /// the user tag left by 8 bits, so user tags must fit in 56 bits. The
@@ -70,9 +77,11 @@ class BufferView {
   }
   [[nodiscard]] bool empty() const { return size() == 0; }
   [[nodiscard]] const double* data() const {
+    check_not_taken();
     return shared_ ? shared_->data() : owned_.data();
   }
   [[nodiscard]] std::span<const double> span() const {
+    check_not_taken();
     return shared_ ? std::span<const double>(*shared_)
                    : std::span<const double>(owned_);
   }
@@ -85,16 +94,31 @@ class BufferView {
   /// Copy the payload out into a private, mutable vector, releasing this
   /// view. Exclusive payloads are moved (zero-copy — the mailbox handoff
   /// already transferred sole ownership under the channel mutex); shared
-  /// payloads are copied, never mutated in place.
+  /// payloads are copied, never mutated in place. The view is dead
+  /// afterwards: any further data access trips the buffer-ownership debug
+  /// hook (use-after-take is always a bug — for exclusive payloads the
+  /// storage is gone, for shared ones the caller clearly confused its copy
+  /// with the shared original).
   [[nodiscard]] std::vector<double> take() && {
-    if (shared_) return *shared_;
+    check_not_taken();
+    taken_ = true;
+    if (shared_) {
+      std::vector<double> copy = *shared_;
+      shared_.reset();
+      return copy;
+    }
     return std::move(owned_);
   }
 
  private:
+  void check_not_taken() const {
+    if (taken_) report_buffer_misuse("BufferView accessed after take()");
+  }
+
   SharedBuffer shared_;
   std::vector<double> owned_;
   std::size_t logical_bytes_ = 0;
+  bool taken_ = false;
 };
 
 /// A message in flight. Exactly one of `shared` / `exclusive` carries data
@@ -109,6 +133,11 @@ struct Message {
   SharedBuffer shared;
   std::vector<double> exclusive;
   std::size_t logical_bytes = 0;
+  /// Content fingerprint of `shared` stamped at deliver time when a trace
+  /// is attached (0 = unstamped). Re-checked at receive time: a mismatch
+  /// means some rank mutated an immutable in-flight payload — the
+  /// mutation-of-SharedBuffer lint of the verifier.
+  std::uint64_t fingerprint = 0;
 };
 
 }  // namespace conflux::simnet

@@ -51,24 +51,49 @@ void Network::enqueue(Channel& ch, int src, Tag tag, Message msg) {
   if (wake) ch.cv.notify_one();
 }
 
+void Network::set_trace(TraceRecorder* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) trace_->reset(nranks_);
+}
+
 void Network::deliver(int src, int dst, Tag tag, Message msg) {
-  CONFLUX_EXPECTS(src >= 0 && src < size() && dst >= 0 && dst < size());
+  CONFLUX_EXPECTS_CTX(src >= 0 && src < size() && dst >= 0 && dst < size(),
+                      (CommContext{.src = src, .dst = dst}.with_tag(tag)));
   stats_.record_send(src, dst, msg.logical_bytes);
+  if (trace_ != nullptr) {
+    trace_->record_send(src, dst, tag, msg.logical_bytes);
+    if (msg.shared) {
+      msg.fingerprint = payload_fingerprint(msg.shared);
+      if (msg.fingerprint == 0) msg.fingerprint = 1;  // 0 means unstamped
+    }
+  }
   enqueue(channel(dst, src), src, tag, std::move(msg));
 }
 
 void Network::multicast(int src, std::span<const int> dsts, Tag tag,
                         SharedBuffer payload, std::size_t logical_bytes) {
-  CONFLUX_EXPECTS(src >= 0 && src < size());
+  CONFLUX_EXPECTS_CTX(src >= 0 && src < size(),
+                      (CommContext{.src = src}.with_tag(tag)));
+  std::uint64_t fingerprint = 0;
+  if (trace_ != nullptr && payload) {
+    fingerprint = payload_fingerprint(payload);
+    if (fingerprint == 0) fingerprint = 1;
+  }
   for (int dst : dsts) {
-    CONFLUX_EXPECTS(dst >= 0 && dst < size());
+    CONFLUX_EXPECTS_CTX(dst >= 0 && dst < size(),
+                        (CommContext{.src = src, .dst = dst}.with_tag(tag)));
     stats_.record_send(src, dst, logical_bytes);
-    enqueue(channel(dst, src), src, tag, Message{payload, {}, logical_bytes});
+    if (trace_ != nullptr)
+      trace_->record_send(src, dst, tag, logical_bytes, /*multicast=*/true);
+    enqueue(channel(dst, src), src, tag,
+            Message{payload, {}, logical_bytes, fingerprint});
   }
 }
 
 Message Network::receive(int me, int src, Tag tag) {
-  CONFLUX_EXPECTS(me >= 0 && me < size() && src >= 0 && src < size());
+  CONFLUX_EXPECTS_CTX(me >= 0 && me < size() && src >= 0 && src < size(),
+                      (CommContext{.rank = me, .src = src, .dst = me}
+                           .with_tag(tag)));
   Channel& ch = channel(me, src);
   const auto key = std::make_pair(src, tag);
 
@@ -81,13 +106,33 @@ Message Network::receive(int me, int src, Tag tag) {
     return true;
   };
 
+  // Runs on the receiver's thread once a message has been matched: logs the
+  // Recv event in program order and re-checks the shared-payload
+  // fingerprint stamped at deliver time (in-flight mutation lint).
+  auto finish = [&](Message&& m) -> Message {
+    if (trace_ != nullptr) {
+      trace_->record_recv(me, src, tag, m.logical_bytes);
+      if (m.shared && m.fingerprint != 0) {
+        std::uint64_t fp = payload_fingerprint(m.shared);
+        if (fp == 0) fp = 1;
+        if (fp != m.fingerprint) {
+          std::ostringstream os;
+          os << "shared payload mutated in flight "
+             << CommContext{.rank = me, .src = src, .dst = me}.with_tag(tag);
+          report_buffer_misuse(os.str());
+        }
+      }
+    }
+    return std::move(m);
+  };
+
   Message msg;
   // Short spin: cheap when a matching send is already in flight on another
   // core; skipped entirely (spin_iters_ == 0) when ranks outnumber cores.
   for (int i = 0; i < spin_iters_; ++i) {
     {
       std::unique_lock<std::mutex> lock(ch.mutex, std::try_to_lock);
-      if (lock.owns_lock() && try_pop(msg)) return msg;
+      if (lock.owns_lock() && try_pop(msg)) return finish(std::move(msg));
     }
     if (aborted()) throw JobAborted{};
     cpu_pause();
@@ -98,7 +143,7 @@ Message Network::receive(int me, int src, Tag tag) {
     if (aborted()) throw JobAborted{};
     if (try_pop(msg)) {
       ch.waiting = false;
-      return msg;
+      return finish(std::move(msg));
     }
     ch.waiting = true;
     ch.waiting_src = src;

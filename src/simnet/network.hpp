@@ -20,6 +20,7 @@
 
 #include "simnet/message.hpp"
 #include "simnet/stats.hpp"
+#include "simnet/trace.hpp"
 
 namespace conflux::simnet {
 
@@ -81,6 +82,14 @@ class Network {
   [[nodiscard]] StatsBoard& stats() { return stats_; }
   [[nodiscard]] const StatsBoard& stats() const { return stats_; }
 
+  /// Attach a per-rank event recorder: every deliver/multicast/receive is
+  /// logged in program order (see trace.hpp), and shared payloads get the
+  /// paranoid in-flight-mutation fingerprint check. The recorder is reset
+  /// to this network's rank count. Pass nullptr to detach. Must not be
+  /// called while a job is running.
+  void set_trace(TraceRecorder* trace);
+  [[nodiscard]] TraceRecorder* trace() const { return trace_; }
+
  private:
   /// One (destination, source-slot) channel. Queues are keyed by
   /// (source, tag) so slot sharing at very large rank counts stays correct.
@@ -105,6 +114,7 @@ class Network {
   std::size_t slots_per_rank_ = 0;
   std::vector<Channel> channels_;
   StatsBoard stats_;
+  TraceRecorder* trace_ = nullptr;
   std::atomic<bool> aborted_{false};
   int spin_iters_ = 0;  ///< 0 on oversubscribed hosts
 

@@ -8,6 +8,8 @@
 /// never an expected runtime condition.
 #pragma once
 
+#include <cstdint>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -19,6 +21,45 @@ class ContractViolation : public std::logic_error {
  public:
   using std::logic_error::logic_error;
 };
+
+/// Structured location of a communication operation, attached to fabric and
+/// verifier assertion failures so a failed contract names the offending
+/// (rank, step, src, dst, tag) instead of just the expression text. Fields
+/// left at their defaults are omitted from the printout.
+struct CommContext {
+  int rank = -1;           ///< rank executing the failing operation
+  long long step = -1;     ///< outer-loop step / per-rank event index
+  int src = -1;            ///< message source rank
+  int dst = -1;            ///< message destination rank
+  std::uint64_t tag = 0;   ///< message tag (printed when has_tag)
+  bool has_tag = false;
+
+  [[nodiscard]] CommContext with_tag(std::uint64_t t) const {
+    CommContext c = *this;
+    c.tag = t;
+    c.has_tag = true;
+    return c;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const CommContext& c) {
+  const char* sep = "";
+  os << '[';
+  if (c.rank >= 0) os << sep << "rank=" << c.rank, sep = " ";
+  if (c.step >= 0) os << sep << "step=" << c.step, sep = " ";
+  if (c.src >= 0) os << sep << "src=" << c.src, sep = " ";
+  if (c.dst >= 0) os << sep << "dst=" << c.dst, sep = " ";
+  if (c.has_tag) {
+    // Decode the (phase, step, sub) packing of simnet::make_tag — stated
+    // there as phase<<40 | step<<12 | sub — purely as a reading aid; the
+    // raw value is printed alongside.
+    os << sep << "tag=0x" << std::hex << c.tag << std::dec << " (phase="
+       << (c.tag >> 40) << " step=" << ((c.tag >> 12) & 0xFFFFFFF)
+       << " sub=" << (c.tag & 0xFFF) << ')';
+  }
+  os << ']';
+  return os;
+}
 
 namespace detail {
 [[noreturn]] inline void contract_fail(const char* kind, const char* expr,
@@ -66,4 +107,29 @@ namespace detail {
     if (!(cond))                                                            \
       ::conflux::detail::contract_fail("postcondition", #cond, __FILE__,    \
                                        __LINE__, "");                       \
+  } while (0)
+
+/// Precondition check carrying a CommContext (or any streamable context):
+/// the failure message leads with the structured (rank, step, src, dst,
+/// tag) location so fabric/verifier diagnostics are actionable without a
+/// debugger.
+#define CONFLUX_EXPECTS_CTX(cond, ctx)                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream os_;                                               \
+      os_ << (ctx);                                                         \
+      ::conflux::detail::contract_fail("precondition", #cond, __FILE__,     \
+                                       __LINE__, os_.str());                \
+    }                                                                       \
+  } while (0)
+
+/// Invariant check carrying a CommContext (or any streamable context).
+#define CONFLUX_ASSERT_CTX(cond, ctx)                                       \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream os_;                                               \
+      os_ << (ctx);                                                         \
+      ::conflux::detail::contract_fail("invariant", #cond, __FILE__,        \
+                                       __LINE__, os_.str());                \
+    }                                                                       \
   } while (0)

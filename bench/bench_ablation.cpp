@@ -1,12 +1,32 @@
 /// bench_ablation — measures the design choices DESIGN.md calls out (§7.2,
 /// §7.3): replication depth c, block size v, grid optimization at awkward
-/// rank counts, and the cost of NOT slicing panel multicasts by layer
-/// (the CANDMC-style full-panel broadcast).
-#include "bench/bench_common.hpp"
+/// rank counts, the cost of NOT slicing panel multicasts by layer (the
+/// CANDMC-style full-panel broadcast), and the pivoting-strategy sweep
+/// answering the Tang critique (arXiv 2404.06713): partial (LibSci) vs
+/// COnfLUX's butterfly tournament vs CALU's reduction-tree tournament,
+/// crossed with the adversarial matrix families and several grids.
+///
+/// `--json[=path]` writes the pivoting sweep to `path` (default
+/// BENCH_pivoting.json): per-(strategy, kind) growth/residual numerics and
+/// per-grid communication volumes with the CALU/COnfLUX ratio.
+#include <fstream>
+#include <sstream>
 
-int main() {
+#include "bench/bench_common.hpp"
+#include "linalg/generate.hpp"
+
+int main(int argc, char** argv) {
   using namespace conflux;
   using namespace conflux::bench;
+
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json")
+      json_path = "BENCH_pivoting.json";
+    else if (arg.rfind("--json=", 0) == 0)
+      json_path = arg.substr(7);
+  }
 
   const bool full = bench_scale() == BenchScale::Full;
   const int n = full ? 4096 : 1024;
@@ -109,6 +129,87 @@ int main() {
   }
   ntab.print(std::cout, 2);
   std::cout << "  (2D volume is nb-insensitive at leading order — the "
-               "N^2/sqrt(P) broadcasts dominate.)\n";
+               "N^2/sqrt(P) broadcasts dominate.)\n\n";
+
+  std::cout << "== Ablation 6: pivoting strategies x adversarial kinds "
+               "(Tang critique, arXiv 2404.06713) ==\n";
+  // Partial pivoting (LibSci), COnfLUX's butterfly tournament, and CALU's
+  // reduction-tree tournament on every adversarial family. Numeric runs
+  // give growth + residual; dry runs at the sweep grids give the volumes.
+  const std::vector<std::string> strategies = {"LibSci", "COnfLUX", "CALU"};
+  std::ostringstream numerics_json;
+  std::ostringstream volumes_json;
+
+  const int adv_n = pick(256, 128);
+  const int adv_p = 8;
+  Table ptab({"strategy", "kind", "growth", "residual/eps", "off-natural"});
+  for (const std::string& algo : strategies) {
+    for (linalg::MatrixKind kind : linalg::adversarial_kinds()) {
+      const linalg::Matrix a = linalg::generate(adv_n, kind, 131);
+      lu::LuConfig cfg;
+      cfg.n = adv_n;
+      cfg.p = adv_p;
+      cfg.mode = lu::Mode::Numeric;
+      cfg.verify = true;
+      const auto res = lu::make_algorithm(algo)->run(&a, cfg);
+      ptab.add_row({algo, linalg::to_string(kind), fmt(res.growth, 3),
+                    fmt(res.residual_eps, 2),
+                    std::to_string(res.pivot_stats.off_natural)});
+      if (numerics_json.tellp() > 0) numerics_json << ",";
+      numerics_json << "\n    {\"strategy\": \"" << algo << "\", \"kind\": \""
+                    << linalg::to_string(kind) << "\", \"n\": " << adv_n
+                    << ", \"p\": " << adv_p << ", \"growth\": " << res.growth
+                    << ", \"residual_eps\": " << res.residual_eps
+                    << ", \"off_natural\": " << res.pivot_stats.off_natural
+                    << "}";
+    }
+  }
+  ptab.print(std::cout, 2);
+  std::cout << "  (Wilkinson defeats every row-pivoting strategy — partial "
+               "and tournament alike hit 2^(n-1); on the other families all "
+               "three stay at O(1) growth. Tournament pivoting is about "
+               "communication, not extra stability.)\n\n";
+
+  const int piv_n = full ? 4096 : 1024;
+  Table wtab({"N", "P", "c", "LibSci GB", "COnfLUX GB", "CALU GB",
+              "CALU/COnfLUX"});
+  for (const auto& [pa, c] :
+       std::vector<std::pair<int, int>>{{16, 0}, {64, 0}, {64, 4}}) {
+    lu::LuConfig cfg;
+    cfg.n = piv_n;
+    cfg.p = pa;
+    cfg.mode = lu::Mode::DryRun;
+    cfg.force_layers = c;
+    const auto libsci = lu::make_algorithm("LibSci")->run(nullptr, cfg);
+    const auto conflux = lu::make_algorithm("COnfLUX")->run(nullptr, cfg);
+    const auto calu = lu::make_algorithm("CALU")->run(nullptr, cfg);
+    const double ratio = calu.total_bytes() / conflux.total_bytes();
+    wtab.add_row({std::to_string(piv_n), std::to_string(pa),
+                  c == 0 ? "auto" : std::to_string(c),
+                  gb(libsci.total_bytes()), gb(conflux.total_bytes()),
+                  gb(calu.total_bytes()), fmt(ratio, 4) + "x"});
+    if (volumes_json.tellp() > 0) volumes_json << ",";
+    volumes_json << "\n    {\"n\": " << piv_n << ", \"p\": " << pa
+                 << ", \"layers\": \"" << (c == 0 ? "auto" : std::to_string(c))
+                 << "\", \"grid\": \"" << conflux.grid
+                 << "\", \"libsci_bytes\": " << libsci.total_bytes()
+                 << ", \"conflux_bytes\": " << conflux.total_bytes()
+                 << ", \"calu_bytes\": " << calu.total_bytes()
+                 << ", \"calu_over_conflux\": " << ratio << "}";
+  }
+  wtab.print(std::cout, 2);
+  std::cout << "  (The reduction tree sends Px-1 candidate blocks per panel "
+               "vs the butterfly's ~Px log2 Px: CALU tracks COnfLUX from "
+               "below, always within the 1.1x acceptance band.)\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"pivoting\",\n  \"scale\": \""
+        << (full ? "full" : "small")
+        << "\",\n  \"strategies\": [\"LibSci\", \"COnfLUX\", \"CALU\"],"
+        << "\n  \"numerics\": [" << numerics_json.str()
+        << "\n  ],\n  \"volumes\": [" << volumes_json.str() << "\n  ]\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+  }
   return 0;
 }

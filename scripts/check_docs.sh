@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Documentation lint, run by the CI "docs" job (and locally via
-# `scripts/check_docs.sh`). Three invariants:
+# `scripts/check_docs.sh`). Four invariants:
 #
 #  1. Every header under src/ opens with a `/// \file` doc comment (the
 #     house style of conflux25d.hpp/spmd.hpp).
@@ -11,6 +11,9 @@
 #     one of the repo's binaries (commcheck, bench_*) must appear literally
 #     in that binary's source, so docs cannot outlive a renamed or removed
 #     option.
+#  4. No malformed Doxygen member markers: a bare `/<` (a typo for the
+#     `///<` trailing-comment marker) renders as literal noise in the docs
+#     and silently drops the comment from the generated output.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 fail=0
@@ -69,7 +72,21 @@ while IFS= read -r md; do
 done < <(find . -mindepth 1 \( -name build -o -name '.*' \) -prune -o \
          -name '*.md' -print | sort)
 
+# --- 4: malformed Doxygen trailing-comment markers ---------------------------
+# Strip every well-formed `///<` occurrence, then flag any surviving `/<`:
+# that is the `/<`-for-`///<` typo (or a stray `//<`), which Doxygen treats
+# as plain code and drops from the docs.
+while IFS= read -r f; do
+  hits=$(sed 's_///<__g' "$f" | grep -n '/<' || true)
+  if [ -n "$hits" ]; then
+    echo "error: $f contains a malformed Doxygen marker ('/<' where '///<' is meant):" >&2
+    echo "$hits" | sed 's/^/  /' >&2
+    fail=1
+  fi
+done < <(find src tests bench tools examples \
+         \( -name '*.hpp' -o -name '*.cpp' \) -print | sort)
+
 if [ "$fail" -eq 0 ]; then
-  echo "docs lint OK: src headers carry \\file comments, intra-repo links resolve, documented CLI flags exist"
+  echo "docs lint OK: src headers carry \\file comments, intra-repo links resolve, documented CLI flags exist, no malformed '/<' Doxygen markers"
 fi
 exit "$fail"

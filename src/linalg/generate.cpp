@@ -48,6 +48,77 @@ Matrix generate(int m, int n, MatrixKind kind, std::uint64_t seed) {
         a(i, i) += n;
       }
       break;
+    case MatrixKind::Wilkinson:
+      // Deterministic by construction (the seed is unused): W(i,i) = 1,
+      // W(i,j) = -1 below the diagonal, W(:,n-1) = 1. Under partial
+      // pivoting no row ever beats the diagonal, and the last column
+      // doubles each step: |U(n-1,n-1)| = 2^(n-1).
+      for (int i = 0; i < m; ++i)
+        for (int j = 0; j < n; ++j)
+          a(i, j) = j == n - 1 ? 1.0 : (i == j ? 1.0 : (i > j ? -1.0 : 0.0));
+      break;
+    case MatrixKind::Graded:
+      // Uniform noise under a two-sided graded scaling: rows decay by
+      // 2^-36 top to bottom while columns grow by 2^12 left to right, so
+      // magnitudes span ~2^48 and naive (unpivoted or badly tie-broken)
+      // eliminations lose the small rows entirely.
+      for (int i = 0; i < m; ++i) {
+        const double row_scale =
+            std::exp2(-36.0 * i / std::max(1, m - 1));
+        for (int j = 0; j < n; ++j)
+          a(i, j) = rng.uniform(-1.0, 1.0) * row_scale *
+                    std::exp2(12.0 * j / std::max(1, n - 1));
+      }
+      break;
+    case MatrixKind::NearSingular:
+      // Well-conditioned uniform noise, then a near rank-deficiency: the
+      // last row becomes the average of the first two rows plus 1e-8
+      // noise. Backward error must stay tiny; the forward error (and the
+      // final pivot) legitimately degrade to ~1e-8.
+      CONFLUX_EXPECTS_MSG(m >= 3, "NearSingular needs at least 3 rows");
+      for (int i = 0; i < m; ++i)
+        for (double& x : a.row(i)) x = rng.uniform(-1.0, 1.0);
+      for (int j = 0; j < n; ++j)
+        a(m - 1, j) = 0.5 * (a(0, j) + a(1, j)) +
+                      1e-8 * rng.uniform(-1.0, 1.0);
+      break;
+    case MatrixKind::RandSvd: {
+      // randsvd: A = H_1 H_2 D G_1 G_2 with D = diag(sigma), sigma
+      // geometrically spaced from 1 down to 1/cond, and H/G random
+      // Householder reflections (exactly orthogonal), so the singular
+      // values — and the condition number 1e10 — are prescribed exactly.
+      CONFLUX_EXPECTS_MSG(m == n, "RandSvd matrices must be square");
+      const double cond = 1e10;
+      for (int i = 0; i < n; ++i)
+        a(i, i) = std::pow(cond, -static_cast<double>(i) /
+                                     std::max(1, n - 1));
+      auto reflect = [&](bool left) {
+        std::vector<double> w(static_cast<std::size_t>(n));
+        double norm2 = 0.0;
+        for (double& x : w) {
+          x = rng.uniform(-1.0, 1.0);
+          norm2 += x * x;
+        }
+        const double inv = 1.0 / std::sqrt(norm2);
+        for (double& x : w) x *= inv;
+        // A := (I - 2 w w^T) A  or  A := A (I - 2 w w^T).
+        for (int k = 0; k < n; ++k) {
+          double dot = 0.0;
+          for (int i = 0; i < n; ++i)
+            dot += w[static_cast<std::size_t>(i)] *
+                   (left ? a(i, k) : a(k, i));
+          for (int i = 0; i < n; ++i) {
+            double& x = left ? a(i, k) : a(k, i);
+            x -= 2.0 * w[static_cast<std::size_t>(i)] * dot;
+          }
+        }
+      };
+      reflect(true);
+      reflect(true);
+      reflect(false);
+      reflect(false);
+      break;
+    }
     case MatrixKind::Laplace2D: {
       // n must be a perfect square for a true stencil; otherwise fall back to
       // a 1D Laplacian. Entries: 4 on diagonal, -1 for grid neighbours.
@@ -72,6 +143,28 @@ Matrix generate(int m, int n, MatrixKind kind, std::uint64_t seed) {
 
 Matrix generate(int n, MatrixKind kind, std::uint64_t seed) {
   return generate(n, n, kind, seed);
+}
+
+const char* to_string(MatrixKind kind) {
+  switch (kind) {
+    case MatrixKind::Uniform: return "Uniform";
+    case MatrixKind::DiagDominant: return "DiagDominant";
+    case MatrixKind::Interaction: return "Interaction";
+    case MatrixKind::Laplace2D: return "Laplace2D";
+    case MatrixKind::Spd: return "Spd";
+    case MatrixKind::Wilkinson: return "Wilkinson";
+    case MatrixKind::Graded: return "Graded";
+    case MatrixKind::NearSingular: return "NearSingular";
+    case MatrixKind::RandSvd: return "RandSvd";
+  }
+  return "?";
+}
+
+const std::vector<MatrixKind>& adversarial_kinds() {
+  static const std::vector<MatrixKind> kKinds = {
+      MatrixKind::Wilkinson, MatrixKind::Graded, MatrixKind::NearSingular,
+      MatrixKind::RandSvd};
+  return kKinds;
 }
 
 }  // namespace conflux::linalg

@@ -2,10 +2,12 @@
 /// Deterministic test-matrix generators. The paper's evaluation factors
 /// matrices from scientific applications (DFT atom-interaction matrices,
 /// HPL); for reproduction we use well-conditioned random and structured
-/// generators with fixed seeds.
+/// generators with fixed seeds, plus the adversarial families the
+/// numerics validation suite throws at the pivoting strategies.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "linalg/matrix.hpp"
 
@@ -21,7 +23,29 @@ enum class MatrixKind {
   Spd,            ///< symmetric positive definite: symmetrized uniform noise
                   ///< plus n on the diagonal (SPD by Gershgorin; square
                   ///< only). The input family for the Cholesky algorithms.
+
+  // --- adversarial kinds (the numerics validation suite) -------------------
+  Wilkinson,      ///< Wilkinson's GEPP worst case: 1 on the diagonal, -1
+                  ///< strictly below it, 1 in the last column. Partial
+                  ///< pivoting never swaps and the growth factor doubles
+                  ///< every elimination step, reaching 2^(n-1).
+  Graded,         ///< ill-scaled: uniform noise with row magnitudes decaying
+                  ///< over ~2^-36 and column magnitudes growing over ~2^12 —
+                  ///< entries span twelve decades, stressing the pivot
+                  ///< selection's scale invariance.
+  NearSingular,   ///< low-rank perturbation of singular: the last row is a
+                  ///< convex combination of two earlier rows plus 1e-8 noise,
+                  ///< driving one pivot (and the conditioning) to ~1e-8.
+  RandSvd,        ///< randsvd with prescribed condition number 1e10:
+                  ///< geometrically decaying singular values wrapped in
+                  ///< random Householder reflections (square only).
 };
+
+/// Table name of a matrix kind ("Uniform", "Wilkinson", ...).
+[[nodiscard]] const char* to_string(MatrixKind kind);
+
+/// The adversarial kinds, in the order the numerics suite sweeps them.
+[[nodiscard]] const std::vector<MatrixKind>& adversarial_kinds();
 
 /// Generate an m x n matrix of the given kind with a deterministic seed.
 [[nodiscard]] Matrix generate(int m, int n, MatrixKind kind,

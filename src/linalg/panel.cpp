@@ -81,6 +81,28 @@ TournamentResult finalize_tournament(const PivotCandidates& winners) {
   return result;
 }
 
+std::vector<TreeStep> reduction_tree_schedule(int parts) {
+  CONFLUX_EXPECTS(parts >= 1);
+  std::vector<TreeStep> steps;
+  steps.reserve(static_cast<std::size_t>(parts > 0 ? parts - 1 : 0));
+  int round = 0;
+  for (int gap = 1; gap < parts; gap *= 2, ++round)
+    for (int src = gap; src < parts; src += 2 * gap)
+      steps.push_back({round, src, src - gap});
+  return steps;
+}
+
+PivotCandidates tournament_tree(std::vector<PivotCandidates> parts, int v) {
+  CONFLUX_EXPECTS(!parts.empty());
+  for (PivotCandidates& p : parts) p = select_best(p, v);
+  for (const TreeStep& step :
+       reduction_tree_schedule(static_cast<int>(parts.size())))
+    parts[static_cast<std::size_t>(step.dst)] = tournament_round(
+        parts[static_cast<std::size_t>(step.dst)],
+        parts[static_cast<std::size_t>(step.src)], v);
+  return std::move(parts.front());
+}
+
 std::vector<double> pack_candidates(const PivotCandidates& cand) {
   std::vector<double> buf;
   const int m = cand.count();

@@ -56,6 +56,30 @@ struct TournamentResult {
 [[nodiscard]] TournamentResult finalize_tournament(
     const PivotCandidates& winners);
 
+/// One edge of the binary reduction tree CALU runs over the tournament
+/// participants (arXiv 0808.2664): in round `round`, participant `src`
+/// ships its candidate set to `dst`, which merges and reselects.
+struct TreeStep {
+  int round = 0;
+  int src = 0;
+  int dst = 0;
+};
+
+/// CALU's reduction-tree schedule over `parts` participants: in round r the
+/// odd multiples of 2^r send to the even multiple 2^r below, so candidates
+/// funnel to participant 0 in ceil(log2(parts)) rounds with parts - 1 total
+/// messages (the butterfly's all-to-all costs ~parts * log2(parts)).
+/// Non-powers-of-two fold in naturally. Every participant > 0 appears as a
+/// sender exactly once; the steps are in replayable global order.
+[[nodiscard]] std::vector<TreeStep> reduction_tree_schedule(int parts);
+
+/// Host-side reference for the distributed reduction tree: locally select
+/// each participant's best v rows, then merge along reduction_tree_schedule.
+/// Returns the winners held by participant 0 (the tree root) — the oracle
+/// the CALU backend's distributed path must reproduce.
+[[nodiscard]] PivotCandidates tournament_tree(
+    std::vector<PivotCandidates> parts, int v);
+
 /// Serialize candidates for transport: [count, width, rows..., values...]
 /// packed into doubles (row ids are exactly representable).
 [[nodiscard]] std::vector<double> pack_candidates(const PivotCandidates& cand);

@@ -1,0 +1,11 @@
+#include "lu/calu25d.hpp"
+
+#include "lu/block25d.hpp"
+
+namespace conflux::lu {
+
+LuResult Calu25D::run(const linalg::Matrix* a, const LuConfig& cfg) {
+  return run_block25d(a, cfg, PanelTournament::Tree);
+}
+
+}  // namespace conflux::lu

@@ -1,0 +1,30 @@
+/// \file calu25d.hpp
+/// CALU — communication-avoiding LU with tournament pivoting over a binary
+/// reduction tree (Grigori, Demmel, Xiang; arXiv 0808.2664), grafted onto
+/// the same 2.5D engine as COnfLUX (lu/block25d.hpp).
+///
+/// The only difference from COnfLUX is the step-2 panel tournament: instead
+/// of the butterfly (hypercube all-to-all) exchange in which every panel
+/// owner finishes holding the winners, candidates funnel down a binary
+/// reduction tree to participant 0, which alone finalizes the v pivots and
+/// seeds the step-3 broadcast. That is Px - 1 point-to-point messages per
+/// panel against the butterfly's ~Px log2(Px), so CALU's total communication
+/// volume is bounded by COnfLUX's on every grid (the acceptance ablation
+/// pins the ratio within 1.1x). Numerically, both topologies apply the same
+/// tournament_round merge in global row order, hence the same documented
+/// growth bound of roughly 2^(n/b · (log2 Px + 1)) — attained only on
+/// Wilkinson-type adversaries, like partial pivoting's 2^(n-1).
+#pragma once
+
+#include "lu/lu_common.hpp"
+
+namespace conflux::lu {
+
+class Calu25D final : public LuAlgorithm {
+ public:
+  [[nodiscard]] std::string name() const override { return "CALU"; }
+  [[nodiscard]] LuResult run(const linalg::Matrix* a,
+                             const LuConfig& cfg) override;
+};
+
+}  // namespace conflux::lu

@@ -72,6 +72,12 @@ LuResult Candmc25D::run(const linalg::Matrix* a, const LuConfig& cfg) {
   if (verify) {
     result.residual = linalg::lu_residual(*a, gathered.view(), ipiv);
     result.growth = linalg::growth_factor(*a, gathered.view());
+    result.residual_eps = factor::residual_in_eps(result.residual);
+    std::vector<double> u_diag(static_cast<std::size_t>(cfg.n));
+    for (int i = 0; i < cfg.n; ++i)
+      u_diag[static_cast<std::size_t>(i)] = gathered(i, i);
+    result.pivot_stats = factor::pivot_stats(
+        linalg::pivots_to_permutation(ipiv, cfg.n), u_diag);
   }
   if (numeric && cfg.keep_factors) {
     result.permutation = linalg::pivots_to_permutation(ipiv, cfg.n);

@@ -1,833 +1,11 @@
 #include "lu/conflux25d.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "grid/block_cyclic.hpp"
-#include "grid/grid_opt.hpp"
-#include "linalg/blas.hpp"
-#include "linalg/panel.hpp"
-#include "factor/step_records.hpp"
-#include "simnet/collectives.hpp"
-#include "simnet/spmd.hpp"
-#include "support/random.hpp"
-#include "support/timer.hpp"
+#include "lu/block25d.hpp"
 
 namespace conflux::lu {
 
-namespace {
-
-using factor::assemble_factors;
-using factor::AssembledFactors;
-using factor::make_step_records;
-using factor::masked_growth_factor;
-using factor::masked_lu_residual;
-using factor::StepRecord;
-using grid::chunk_of;
-using grid::chunk_range;
-using grid::Coord3;
-using grid::Grid3D;
-using linalg::Matrix;
-using simnet::Comm;
-using simnet::make_tag;
-using simnet::Tag;
-
-/// Resolved run parameters shared by every rank.
-struct Plan {
-  int n = 0;
-  int v = 0;
-  int steps = 0;
-  Grid3D g{1, 1, 1};
-  int active = 0;
-  bool numeric = true;
-  std::uint64_t seed = 42;
-};
-
-/// Per-rank mutable state.
-struct RankState {
-  Coord3 me;
-  // Tile storage (numeric only): tiles It % Px == me.px, Jt % Py == me.py,
-  // packed [(It/Px) * ltc + (Jt/Py)] * v^2, row-major within a tile.
-  std::vector<double> tiles;
-  int ltr = 0, ltc = 0;
-  // Globally consistent pivot bookkeeping.
-  std::vector<std::uint8_t> pivoted;
-  std::vector<int> pivot_order;
-};
-
-/// Pointer to the (It, Jt) tile owned by this rank.
-double* tile_at(const Plan& plan, RankState& st, int tile_row, int tile_col) {
-  const int lr = tile_row / plan.g.px_extent();
-  const int lc = tile_col / plan.g.py_extent();
-  return st.tiles.data() +
-         (static_cast<std::size_t>(lr) * st.ltc + lc) *
-             (static_cast<std::size_t>(plan.v) * plan.v);
-}
-
-/// Element reference inside the owned tile covering (row, col).
-double& elem_at(const Plan& plan, RankState& st, int row, int col) {
-  double* t = tile_at(plan, st, row / plan.v, col / plan.v);
-  return t[static_cast<std::size_t>(row % plan.v) * plan.v + col % plan.v];
-}
-
-/// Everything the ranks derive per outer step from the shared pivot state.
-struct StepView {
-  int t = 0;
-  int l_star = 0;  ///< reducing layer for this step
-  int py_c = 0;    ///< process column owning panel column t
-  int px_c = 0;    ///< process row anchoring the A01 aggregators
-  std::vector<int> rem;                    ///< unpivoted rows, ascending
-  std::vector<std::vector<int>> rows_by_px;  ///< rem split by tile-row owner
-};
-
-StepView make_step_view(const Plan& plan, const RankState& st, int t) {
-  StepView sv;
-  sv.t = t;
-  sv.l_star = t % plan.g.layers();
-  sv.py_c = t % plan.g.py_extent();
-  sv.px_c = t % plan.g.px_extent();
-  sv.rem.reserve(static_cast<std::size_t>(plan.n - t * plan.v));
-  sv.rows_by_px.resize(static_cast<std::size_t>(plan.g.px_extent()));
-  for (int r = 0; r < plan.n; ++r) {
-    if (st.pivoted[static_cast<std::size_t>(r)]) continue;
-    sv.rem.push_back(r);
-    sv.rows_by_px[static_cast<std::size_t>((r / plan.v) %
-                                           plan.g.px_extent())]
-        .push_back(r);
-  }
-  return sv;
-}
-
-/// ---- Step 1: reduce panel column t across layers onto l_star -------------
-void reduce_panel_column(const Plan& plan, RankState& st, const Comm& comm,
-                         const StepView& sv) {
-  if (plan.g.layers() == 1) return;
-  if (st.me.py != sv.py_c) return;
-  const auto& mine = sv.rows_by_px[static_cast<std::size_t>(st.me.px)];
-  if (mine.empty()) return;
-  const int v = plan.v;
-  const int col0 = sv.t * v;
-
-  if (st.me.l != sv.l_star) {
-    const Tag tag = make_tag(1, static_cast<std::uint32_t>(sv.t),
-                             static_cast<std::uint32_t>(st.me.l));
-    const int dst = plan.g.rank_of({st.me.px, sv.py_c, sv.l_star});
-    if (plan.numeric) {
-      std::vector<double> buf;
-      buf.reserve(mine.size() * static_cast<std::size_t>(v));
-      for (int r : mine) {
-        double* base = &elem_at(plan, st, r, col0);
-        buf.insert(buf.end(), base, base + v);
-        std::fill(base, base + v, 0.0);
-      }
-      comm.send(dst, tag, std::move(buf));
-    } else {
-      comm.send_ghost_doubles(dst, tag,
-                              mine.size() * static_cast<std::size_t>(v));
-    }
-  } else {
-    for (int l = 0; l < plan.g.layers(); ++l) {
-      if (l == sv.l_star) continue;
-      const Tag tag = make_tag(1, static_cast<std::uint32_t>(sv.t),
-                               static_cast<std::uint32_t>(l));
-      const int src = plan.g.rank_of({st.me.px, sv.py_c, l});
-      if (plan.numeric) {
-        // Accumulate straight out of the shared payload; no copy-out.
-        const simnet::BufferView buf = comm.recv_view(src, tag);
-        const double* in = buf.data();
-        for (int r : mine) {
-          double* base = &elem_at(plan, st, r, col0);
-          for (int k = 0; k < v; ++k) base[k] += *in++;
-        }
-      } else {
-        (void)comm.recv_ghost(src, tag);
-      }
-    }
-  }
-}
-
-/// ---- Step 2: tournament pivoting over the Px panel owners ---------------
-/// Returns (pivots, a00) on every rank with px < fold-size; other
-/// participants and non-participants learn them from the step-3 broadcast.
-struct TournamentOutcome {
-  std::vector<int> pivots;
-  Matrix a00;
-  bool have = false;
-};
-
-TournamentOutcome run_tournament(const Plan& plan, RankState& st,
-                                 const Comm& comm, const StepView& sv) {
-  TournamentOutcome out;
-  const int px_count = plan.g.px_extent();
-  const int v = plan.v;
-
-  if (!plan.numeric) {
-    // Ghost traffic replays the exact butterfly message sizes of the
-    // numeric tournament; the synthetic winners themselves are precomputed
-    // once by the host (see DrySchedule).
-    if (st.me.py == sv.py_c && st.me.l == sv.l_star) {
-      std::vector<std::size_t> size_of(
-          static_cast<std::size_t>(px_count));
-      for (int px = 0; px < px_count; ++px)
-        size_of[static_cast<std::size_t>(px)] = std::min<std::size_t>(
-            static_cast<std::size_t>(v),
-            sv.rows_by_px[static_cast<std::size_t>(px)].size());
-      auto pack_bytes = [v](std::size_t count) {
-        return (2 + count * (1 + static_cast<std::size_t>(v))) *
-               sizeof(double);
-      };
-      int fold = 1;
-      while (fold * 2 <= px_count) fold *= 2;
-      const int px = st.me.px;
-      // Fold-in phase (ghost sizes follow the global size recursion).
-      if (px >= fold) {
-        comm.send_ghost(
-            plan.g.rank_of({px - fold, sv.py_c, sv.l_star}),
-            make_tag(2, static_cast<std::uint32_t>(sv.t), 0),
-            pack_bytes(size_of[static_cast<std::size_t>(px)]));
-      } else if (px + fold < px_count) {
-        (void)comm.recv_ghost(
-            plan.g.rank_of({px + fold, sv.py_c, sv.l_star}),
-            make_tag(2, static_cast<std::uint32_t>(sv.t), 0));
-      }
-      for (int q = 0; q + fold < px_count; ++q)
-        size_of[static_cast<std::size_t>(q)] = std::min<std::size_t>(
-            static_cast<std::size_t>(v),
-            size_of[static_cast<std::size_t>(q)] +
-                size_of[static_cast<std::size_t>(q + fold)]);
-      // Butterfly phase (all ranks replay the global size recursion).
-      if (px < fold) {
-        unsigned round = 1;
-        for (int mask = 1; mask < fold; mask <<= 1, ++round) {
-          const int partner = px ^ mask;
-          comm.send_ghost(
-              plan.g.rank_of({partner, sv.py_c, sv.l_star}),
-              make_tag(2, static_cast<std::uint32_t>(sv.t), round),
-              pack_bytes(size_of[static_cast<std::size_t>(px)]));
-          (void)comm.recv_ghost(
-              plan.g.rank_of({partner, sv.py_c, sv.l_star}),
-              make_tag(2, static_cast<std::uint32_t>(sv.t), round));
-          std::vector<std::size_t> next = size_of;
-          for (int q = 0; q < fold; ++q)
-            next[static_cast<std::size_t>(q)] = std::min<std::size_t>(
-                static_cast<std::size_t>(v),
-                size_of[static_cast<std::size_t>(q)] +
-                    size_of[static_cast<std::size_t>(q ^ mask)]);
-          size_of = std::move(next);
-        }
-      }
-    }
-    // Winners come from the host-precomputed schedule (filled in by the
-    // caller); nothing further to do here.
-    out.have = true;
-    return out;
-  }
-
-  // --- numeric tournament --------------------------------------------------
-  if (st.me.py != sv.py_c || st.me.l != sv.l_star) return out;
-  const int px = st.me.px;
-  const int col0 = sv.t * v;
-
-  linalg::PivotCandidates cand;
-  {
-    const auto& mine = sv.rows_by_px[static_cast<std::size_t>(px)];
-    linalg::PivotCandidates local;
-    local.rows = mine;
-    local.values = Matrix(static_cast<int>(mine.size()), v);
-    for (std::size_t i = 0; i < mine.size(); ++i) {
-      const double* base = &elem_at(plan, st, mine[i], col0);
-      auto dst = local.values.row(static_cast<int>(i));
-      std::copy(base, base + v, dst.begin());
-    }
-    cand = linalg::select_best(local, v);
-  }
-
-  int fold = 1;
-  while (fold * 2 <= px_count) fold *= 2;
-
-  if (px >= fold) {
-    comm.send(plan.g.rank_of({px - fold, sv.py_c, sv.l_star}),
-              make_tag(2, static_cast<std::uint32_t>(sv.t), 0),
-              linalg::pack_candidates(cand));
-    return out;  // learns the pivots from the step-3 broadcast
-  }
-  if (px + fold < px_count) {
-    const auto other = linalg::unpack_candidates(
-        comm.recv(plan.g.rank_of({px + fold, sv.py_c, sv.l_star}),
-                  make_tag(2, static_cast<std::uint32_t>(sv.t), 0)));
-    cand = linalg::tournament_round(cand, other, v);
-  }
-  unsigned round = 1;
-  for (int mask = 1; mask < fold; mask <<= 1, ++round) {
-    const int partner_rank =
-        plan.g.rank_of({px ^ mask, sv.py_c, sv.l_star});
-    const Tag tag = make_tag(2, static_cast<std::uint32_t>(sv.t), round);
-    comm.send(partner_rank, tag, linalg::pack_candidates(cand));
-    const auto other = linalg::unpack_candidates(comm.recv(partner_rank, tag));
-    cand = linalg::tournament_round(cand, other, v);
-  }
-
-  const linalg::TournamentResult result = linalg::finalize_tournament(cand);
-  out.pivots = result.pivot_rows;
-  out.a00 = result.a00;
-  out.have = true;
-  return out;
-}
-
-/// ---- Step 3: broadcast pivots + A00 to all active ranks ------------------
-void broadcast_pivot_block(const Plan& plan, RankState& st, const Comm& comm,
-                           const StepView& sv, TournamentOutcome& outcome,
-                           const simnet::Group& world) {
-  const int v = plan.v;
-  const int root = plan.g.rank_of({0, sv.py_c, sv.l_star});
-  if (plan.numeric) {
-    std::vector<int> piv =
-        outcome.have ? outcome.pivots : std::vector<int>();
-    piv.resize(static_cast<std::size_t>(v), -1);
-    simnet::bcast_ints(comm, world, root, piv,
-                       make_tag(3, static_cast<std::uint32_t>(sv.t), 0));
-    std::vector<double> a00_flat;
-    if (outcome.have)
-      a00_flat.assign(outcome.a00.data(),
-                      outcome.a00.data() + outcome.a00.size());
-    else
-      a00_flat.resize(static_cast<std::size_t>(v) * v);
-    simnet::bcast(comm, world, root, a00_flat,
-                  make_tag(3, static_cast<std::uint32_t>(sv.t), 1));
-    outcome.pivots = std::move(piv);
-    outcome.a00 = Matrix(v, v);
-    std::copy(a00_flat.begin(), a00_flat.end(), outcome.a00.data());
-    outcome.have = true;
-  } else {
-    (void)simnet::bcast_ghost(
-        comm, world, root,
-        static_cast<std::size_t>(v) * sizeof(int) +
-            static_cast<std::size_t>(v) * v * sizeof(double),
-        make_tag(3, static_cast<std::uint32_t>(sv.t), 0));
-    // outcome.pivots already carries the synthetic winners on every rank;
-    // dry runs keep the pivot bookkeeping host-side (DryStep), so there is
-    // no per-rank state to update.
-    return;
-  }
-  for (int r : outcome.pivots) {
-    st.pivoted[static_cast<std::size_t>(r)] = 1;
-    st.pivot_order.push_back(r);
-  }
-}
-
-/// Rows remaining after this step's pivots are masked out, and their split
-/// by tile-row owner.
-struct Rem2 {
-  std::vector<int> rows;                     ///< ascending
-  std::vector<std::vector<int>> by_px;       ///< split by tile-row owner
-  std::vector<int> px_of_pos;                ///< owner px per position
-};
-
-Rem2 make_rem2(const Plan& plan, const StepView& sv,
-               const std::vector<int>& pivots) {
-  std::vector<std::uint8_t> is_piv(static_cast<std::size_t>(plan.n), 0);
-  for (int r : pivots) is_piv[static_cast<std::size_t>(r)] = 1;
-  Rem2 rem2;
-  rem2.by_px.resize(static_cast<std::size_t>(plan.g.px_extent()));
-  for (int r : sv.rem) {
-    if (is_piv[static_cast<std::size_t>(r)]) continue;
-    const int px = (r / plan.v) % plan.g.px_extent();
-    rem2.rows.push_back(r);
-    rem2.px_of_pos.push_back(px);
-    rem2.by_px[static_cast<std::size_t>(px)].push_back(r);
-  }
-  return rem2;
-}
-
-/// Host-precomputed per-step schedule for dry runs: with synthetic pivots
-/// the index sets of every step are known up front, so ranks share one
-/// read-only copy instead of recomputing O(N) scans per rank per step. The
-/// P threads of a dry run spend their time in the fabric, not in index
-/// bookkeeping — which is what the simulator is supposed to measure.
-struct DryStep {
-  StepView sv;
-  std::vector<int> pivots;
-  Rem2 rem2;  ///< post-pivot row split, shared by all ranks
-  std::vector<std::vector<int>> qs_of_px;        ///< pivot q's per row owner
-  std::vector<std::vector<int>> cols_by_py;      ///< trailing cols per py
-  std::vector<std::vector<int>> tile_cols_by_py; ///< trailing tile cols / py
-};
-
-/// ---- Steps 4 + 7: A10 triangular solve at the row leaders ----------------
-/// The reduced panel column already lives, grouped by tile-row owner px, on
-/// the column owners (px, py_c, l_star). We use that grouping as the 1D
-/// block-row layout of Algorithm 1 (a px-aligned assignment costs no
-/// redistribution), so step 7's triangular solve runs in place on the Px
-/// row leaders.
-struct A10Panel {
-  Matrix full;  ///< rows2_by_px[me.px] x v, solved (leaders, numeric mode)
-  bool leader = false;
-};
-
-A10Panel solve_a10_at_leaders(const Plan& plan, RankState& st,
-                              const Comm& comm, const StepView& sv,
-                              const Rem2& rem2, const Matrix& a00,
-                              std::vector<StepRecord>* records) {
-  (void)comm;
-  A10Panel panel;
-  const int v = plan.v;
-  const int col0 = sv.t * v;
-  if (st.me.py != sv.py_c || st.me.l != sv.l_star) return panel;
-  panel.leader = true;
-  const auto& mine = rem2.by_px[static_cast<std::size_t>(st.me.px)];
-  if (mine.empty() || !plan.numeric) return panel;
-
-  panel.full = Matrix(static_cast<int>(mine.size()), v);
-  for (std::size_t i = 0; i < mine.size(); ++i) {
-    const double* base = &elem_at(plan, st, mine[i], col0);
-    auto dst = panel.full.row(static_cast<int>(i));
-    std::copy(base, base + v, dst.begin());
-  }
-  // Step 7: A10 := A10 * U00^{-1} (right, upper, non-unit).
-  linalg::trsm_right(linalg::Triangle::Upper, linalg::Diag::NonUnit,
-                     a00.view(), panel.full.view());
-  if (records != nullptr) {
-    StepRecord& rec = (*records)[static_cast<std::size_t>(sv.t)];
-    for (std::size_t i = 0; i < mine.size(); ++i) {
-      auto srow = panel.full.row(static_cast<int>(i));
-      auto drow = rec.a10.row(mine[i]);
-      std::copy(srow.begin(), srow.end(), drow.begin());
-    }
-  }
-  return panel;
-}
-
-/// ---- Steps 5 + 9: A01 reduce to aggregators, triangular solve ------------
-/// Each process column's pivot-row partials are summed (across tile-row
-/// owners and layers) onto the aggregator (px_c, py, l_star), which then
-/// owns the true v x (its trailing columns) strip and solves it in place —
-/// the py-aligned 1D block-column layout of Algorithm 1.
-struct A01Panel {
-  Matrix agg;                 ///< v x my trailing cols (aggregators, numeric)
-  std::vector<int> my_cols;   ///< this rank's trailing columns (all ranks)
-  bool aggregator = false;
-};
-
-A01Panel solve_a01_at_aggregators(const Plan& plan, RankState& st,
-                                  const Comm& comm, const StepView& sv,
-                                  const std::vector<int>& pivots,
-                                  const Matrix& a00,
-                                  std::vector<StepRecord>* records,
-                                  const DryStep* dry) {
-  A01Panel panel;
-  const int v = plan.v;
-  const int n = plan.n;
-  const int trail0 = (sv.t + 1) * v;
-  if (n - trail0 == 0) return panel;
-  const int px_count = plan.g.px_extent();
-  const int py_count = plan.g.py_extent();
-
-  // My trailing columns (the ones my tiles cover) — needed by every rank
-  // for the later multicast and Schur update. Dry runs reuse the shared
-  // precomputed split.
-  if (dry != nullptr) {
-    panel.my_cols = dry->cols_by_py[static_cast<std::size_t>(st.me.py)];
-  } else {
-    for (int col = trail0; col < n; ++col)
-      if ((col / v) % py_count == st.me.py) panel.my_cols.push_back(col);
-  }
-
-  // Pivot q's grouped by the tile-row owner of their row.
-  std::vector<std::vector<int>> qs_local;
-  if (dry == nullptr) {
-    qs_local.resize(static_cast<std::size_t>(px_count));
-    for (int q = 0; q < v; ++q)
-      qs_local[static_cast<std::size_t>(
-                   (pivots[static_cast<std::size_t>(q)] / v) % px_count)]
-          .push_back(q);
-  }
-  const std::vector<std::vector<int>>& qs_of_px =
-      dry != nullptr ? dry->qs_of_px : qs_local;
-
-  // My trailing tile columns, for the send layout.
-  const int tiles_total = n / v;
-  std::vector<int> tile_cols_local;
-  if (dry == nullptr) {
-    for (int jt = sv.t + 1; jt < tiles_total; ++jt)
-      if (jt % py_count == st.me.py) tile_cols_local.push_back(jt);
-  }
-  const std::vector<int>& my_tile_cols =
-      dry != nullptr ? dry->tile_cols_by_py[static_cast<std::size_t>(st.me.py)]
-                     : tile_cols_local;
-
-  // Phase 1 (step 5): everyone holding pivot-row partials ships them to the
-  // aggregator of its process column.
-  const auto& my_qs = qs_of_px[static_cast<std::size_t>(st.me.px)];
-  const std::size_t seg_count = my_qs.size() * my_tile_cols.size();
-  if (seg_count > 0) {
-    const int dst = plan.g.rank_of({sv.px_c, st.me.py, sv.l_star});
-    const Tag tag = make_tag(5, static_cast<std::uint32_t>(sv.t), 0);
-    if (plan.numeric) {
-      std::vector<double> buf;
-      buf.reserve(seg_count * static_cast<std::size_t>(v));
-      for (int jt : my_tile_cols)
-        for (int q : my_qs) {
-          const double* base = &elem_at(
-              plan, st, pivots[static_cast<std::size_t>(q)], jt * v);
-          buf.insert(buf.end(), base, base + v);
-        }
-      comm.send(dst, tag, std::move(buf));
-    } else {
-      comm.send_ghost_doubles(dst, tag,
-                              seg_count * static_cast<std::size_t>(v));
-    }
-  }
-
-  panel.aggregator = (st.me.px == sv.px_c && st.me.l == sv.l_star);
-  if (!panel.aggregator || my_tile_cols.empty()) return panel;
-
-  const int my_width = static_cast<int>(panel.my_cols.size());
-  if (plan.numeric) panel.agg = Matrix(v, my_width);
-  for (int px = 0; px < px_count; ++px) {
-    if (qs_of_px[static_cast<std::size_t>(px)].empty()) continue;
-    for (int l = 0; l < plan.g.layers(); ++l) {
-      const int src = plan.g.rank_of({px, st.me.py, l});
-      const Tag tag = make_tag(5, static_cast<std::uint32_t>(sv.t), 0);
-      if (plan.numeric) {
-        const simnet::BufferView buf = comm.recv_view(src, tag);
-        const double* in = buf.data();
-        for (std::size_t jc = 0; jc < my_tile_cols.size(); ++jc)
-          for (int q : qs_of_px[static_cast<std::size_t>(px)]) {
-            auto row = panel.agg.row(q);
-            for (int k = 0; k < v; ++k)
-              row[jc * static_cast<std::size_t>(v) + k] += *in++;
-          }
-      } else {
-        (void)comm.recv_ghost(src, tag);
-      }
-    }
-  }
-  if (plan.numeric) {
-    // Step 9: A01 := L00^{-1} * A01 (left, lower, unit).
-    linalg::trsm_left(linalg::Triangle::Lower, linalg::Diag::Unit, a00.view(),
-                      panel.agg.view());
-    if (records != nullptr) {
-      StepRecord& rec = (*records)[static_cast<std::size_t>(sv.t)];
-      for (int j = 0; j < my_width; ++j)
-        for (int q = 0; q < v; ++q)
-          rec.a01(q, panel.my_cols[static_cast<std::size_t>(j)]) =
-              panel.agg(q, j);
-    }
-  }
-  return panel;
-}
-
-/// ---- Steps 8 / 10: layer-sliced panel multicast --------------------------
-/// A10: row leaders (px, py_c, l_star) -> every (px, *, *), sending each
-/// layer only its v/c k-slice. Returns my slice.
-struct A10Slice {
-  std::vector<int> rows;  ///< global rows (this rank's tile rows in rem2)
-  Matrix values;          ///< rows x slice_width
-  grid::Range slice;      ///< k-range within the v panel columns
-};
-
-A10Slice multicast_a10(const Plan& plan, RankState& st, const Comm& comm,
-                       const StepView& sv, const Rem2& rem2,
-                       const A10Panel& panel) {
-  A10Slice out;
-  const int v = plan.v;
-  const int c = plan.g.layers();
-  out.slice = chunk_range(v, c, st.me.l);
-  if (rem2.rows.empty()) return out;
-
-  const auto& group_rows = rem2.by_px[static_cast<std::size_t>(st.me.px)];
-  if (panel.leader && !group_rows.empty()) {
-    // One packed slice per layer, multicast to the whole process row: the
-    // py_count recipients share a single immutable buffer.
-    std::vector<int> dsts(static_cast<std::size_t>(plan.g.py_extent()));
-    for (int l = 0; l < c; ++l) {
-      const auto slice = chunk_range(v, c, l);
-      if (slice.size() == 0) continue;
-      for (int py = 0; py < plan.g.py_extent(); ++py)
-        dsts[static_cast<std::size_t>(py)] =
-            plan.g.rank_of({st.me.px, py, l});
-      const Tag tag = make_tag(8, static_cast<std::uint32_t>(sv.t), 0);
-      if (plan.numeric) {
-        std::vector<double> buf;
-        buf.reserve(group_rows.size() *
-                    static_cast<std::size_t>(slice.size()));
-        for (std::size_t i = 0; i < group_rows.size(); ++i) {
-          const double* base = panel.full.data() +
-                               i * static_cast<std::size_t>(v) + slice.begin;
-          buf.insert(buf.end(), base, base + slice.size());
-        }
-        comm.multicast(dsts, tag,
-                       simnet::make_shared_buffer(std::move(buf)));
-      } else {
-        comm.multicast_ghost(
-            dsts, tag,
-            group_rows.size() * static_cast<std::size_t>(slice.size()) *
-                sizeof(double));
-      }
-    }
-  }
-
-  if (!group_rows.empty() && out.slice.size() > 0) {
-    const int src = plan.g.rank_of({st.me.px, sv.py_c, sv.l_star});
-    const Tag tag = make_tag(8, static_cast<std::uint32_t>(sv.t), 0);
-    if (plan.numeric) {
-      out.rows = group_rows;
-      const simnet::BufferView buf = comm.recv_view(src, tag);
-      out.values =
-          Matrix(static_cast<int>(group_rows.size()), out.slice.size());
-      std::copy(buf.data(), buf.data() + buf.size(), out.values.data());
-    } else {
-      (void)comm.recv_ghost(src, tag);
-    }
-  }
-  return out;
-}
-
-/// A01: aggregators (px_c, py, l_star) -> every (*, py, *) with the l-th
-/// k-slice. Returns my slice.
-struct A01Slice {
-  std::vector<int> cols;  ///< global columns (this rank's trailing columns)
-  Matrix values;          ///< slice_height x cols
-  grid::Range slice;
-};
-
-A01Slice multicast_a01(const Plan& plan, RankState& st, const Comm& comm,
-                       const StepView& sv, const A01Panel& panel) {
-  A01Slice out;
-  const int v = plan.v;
-  const int c = plan.g.layers();
-  const int trail0 = (sv.t + 1) * v;
-  out.slice = chunk_range(v, c, st.me.l);
-  if (plan.n - trail0 == 0) return out;
-
-  if (panel.aggregator && !panel.my_cols.empty()) {
-    // One packed slice per layer, multicast down the process column.
-    std::vector<int> dsts(static_cast<std::size_t>(plan.g.px_extent()));
-    for (int l = 0; l < c; ++l) {
-      const auto slice = chunk_range(v, c, l);
-      if (slice.size() == 0) continue;
-      for (int px = 0; px < plan.g.px_extent(); ++px)
-        dsts[static_cast<std::size_t>(px)] =
-            plan.g.rank_of({px, st.me.py, l});
-      const Tag tag = make_tag(10, static_cast<std::uint32_t>(sv.t), 0);
-      if (plan.numeric) {
-        std::vector<double> buf;
-        buf.reserve(static_cast<std::size_t>(slice.size()) *
-                    panel.my_cols.size());
-        for (int q = slice.begin; q < slice.end; ++q) {
-          auto row = panel.agg.row(q);
-          buf.insert(buf.end(), row.begin(), row.end());
-        }
-        comm.multicast(dsts, tag,
-                       simnet::make_shared_buffer(std::move(buf)));
-      } else {
-        comm.multicast_ghost(dsts, tag,
-                             static_cast<std::size_t>(slice.size()) *
-                                 panel.my_cols.size() * sizeof(double));
-      }
-    }
-  }
-
-  if (!panel.my_cols.empty() && out.slice.size() > 0) {
-    const int src = plan.g.rank_of({sv.px_c, st.me.py, sv.l_star});
-    const Tag tag = make_tag(10, static_cast<std::uint32_t>(sv.t), 0);
-    if (plan.numeric) {
-      out.cols = panel.my_cols;
-      const simnet::BufferView buf = comm.recv_view(src, tag);
-      out.values =
-          Matrix(out.slice.size(), static_cast<int>(out.cols.size()));
-      std::copy(buf.data(), buf.data() + buf.size(), out.values.data());
-    } else {
-      (void)comm.recv_ghost(src, tag);
-    }
-  }
-  return out;
-}
-
-
-/// ---- Step 11: local Schur update with the layer's k-slice ---------------
-void schur_update_local(const Plan& plan, RankState& st, const A10Slice& a10,
-                        const A01Slice& a01) {
-  if (!plan.numeric) return;
-  if (a10.rows.empty() || a01.cols.empty() || a10.slice.size() == 0) return;
-  CONFLUX_ASSERT(a10.slice.begin == a01.slice.begin &&
-                 a10.slice.end == a01.slice.end);
-
-  Matrix prod(static_cast<int>(a10.rows.size()),
-              static_cast<int>(a01.cols.size()));
-  linalg::gemm(1.0, a10.values.view(), a01.values.view(), 0.0, prod.view());
-  for (std::size_t i = 0; i < a10.rows.size(); ++i) {
-    auto pr = prod.row(static_cast<int>(i));
-    for (std::size_t j = 0; j < a01.cols.size(); ++j)
-      elem_at(plan, st, a10.rows[i], a01.cols[j]) -= pr[j];
-  }
-}
-
-}  // namespace
-
 LuResult Conflux25D::run(const linalg::Matrix* a, const LuConfig& cfg) {
-  CONFLUX_EXPECTS(cfg.n >= 1 && cfg.p >= 1);
-  CONFLUX_EXPECTS(cfg.mode == Mode::DryRun || a != nullptr);
-
-  const double mem = cfg.mem_elements > 0
-                         ? cfg.mem_elements
-                         : static_cast<double>(cfg.n) * cfg.n /
-                               std::pow(static_cast<double>(cfg.p), 2.0 / 3.0);
-
-  Plan plan;
-  plan.n = cfg.n;
-  plan.numeric = (cfg.mode == Mode::Numeric);
-  plan.seed = cfg.seed;
-  if (cfg.force_layers > 0 || !cfg.grid_optimization) {
-    int c = cfg.force_layers > 0
-                ? cfg.force_layers
-                : std::max(1, static_cast<int>(std::lround(
-                                  cfg.p * mem /
-                                  (static_cast<double>(cfg.n) * cfg.n))));
-    c = std::min(c, cfg.p);
-    const int front = std::max(1, cfg.p / c);
-    const int px = std::max(1, static_cast<int>(std::sqrt(
-                                   static_cast<double>(front))));
-    plan.g = Grid3D(px, std::max(1, front / px), c);
-  } else {
-    plan.g = grid::optimize_grid(cfg.p, cfg.n, mem).grid;
-  }
-  plan.active = plan.g.active();
-  plan.v = cfg.block > 0
-               ? cfg.block
-               : grid::choose_block_size(
-                     cfg.n, plan.g.layers(),
-                     grid::default_block_target(cfg.n, plan.g.layers()));
-  CONFLUX_EXPECTS_MSG(cfg.n % plan.v == 0,
-                      "block size " << plan.v << " must divide N=" << cfg.n);
-  plan.steps = cfg.n / plan.v;
-
-  std::vector<StepRecord> records;
-  const bool want_records = plan.numeric && (cfg.verify || cfg.keep_factors);
-  if (want_records) records = make_step_records(plan.n, plan.v);
-
-  // Dry runs: precompute the pivot schedule and per-step index sets once.
-  std::vector<DryStep> dry_sched;
-  if (!plan.numeric) {
-    RankState ghost;
-    ghost.pivoted.assign(static_cast<std::size_t>(plan.n), 0);
-    dry_sched.reserve(static_cast<std::size_t>(plan.steps));
-    const int px_count = plan.g.px_extent();
-    const int py_count = plan.g.py_extent();
-    const int tiles_total = plan.n / plan.v;
-    for (int t = 0; t < plan.steps; ++t) {
-      DryStep ds;
-      ds.sv = make_step_view(plan, ghost, t);
-      ds.pivots = synthetic_pivots(ghost.pivoted, plan.n, plan.v, t, plan.seed);
-      for (int r : ds.pivots) ghost.pivoted[static_cast<std::size_t>(r)] = 1;
-      ds.rem2 = make_rem2(plan, ds.sv, ds.pivots);
-      ds.qs_of_px.resize(static_cast<std::size_t>(px_count));
-      for (int q = 0; q < plan.v; ++q)
-        ds.qs_of_px[static_cast<std::size_t>(
-                        (ds.pivots[static_cast<std::size_t>(q)] / plan.v) %
-                        px_count)]
-            .push_back(q);
-      ds.cols_by_py.resize(static_cast<std::size_t>(py_count));
-      ds.tile_cols_by_py.resize(static_cast<std::size_t>(py_count));
-      for (int jt = t + 1; jt < tiles_total; ++jt) {
-        auto& cols = ds.cols_by_py[static_cast<std::size_t>(jt % py_count)];
-        for (int col = jt * plan.v; col < (jt + 1) * plan.v; ++col)
-          cols.push_back(col);
-        ds.tile_cols_by_py[static_cast<std::size_t>(jt % py_count)]
-            .push_back(jt);
-      }
-      dry_sched.push_back(std::move(ds));
-    }
-  }
-
-  simnet::Network net(plan.active);
-  if (cfg.trace != nullptr) net.set_trace(cfg.trace);
-  const simnet::Group world = simnet::Group::iota(plan.active);
-
-  Stopwatch timer;
-  simnet::run_spmd(net, [&](Comm& comm) {
-    RankState st;
-    st.me = plan.g.coord_of(comm.rank());
-    st.pivoted.assign(static_cast<std::size_t>(plan.n), 0);
-
-    if (plan.numeric) {
-      // Tile storage; layer 0 holds A, other layers hold zero partial sums.
-      const int tiles_total = plan.n / plan.v;
-      st.ltr = (tiles_total - st.me.px + plan.g.px_extent() - 1) /
-               plan.g.px_extent();
-      st.ltc = (tiles_total - st.me.py + plan.g.py_extent() - 1) /
-               plan.g.py_extent();
-      st.tiles.assign(static_cast<std::size_t>(st.ltr) * st.ltc * plan.v *
-                          plan.v,
-                      0.0);
-      if (st.me.l == 0) {
-        for (int it = st.me.px; it < tiles_total; it += plan.g.px_extent())
-          for (int jt = st.me.py; jt < tiles_total;
-               jt += plan.g.py_extent()) {
-            double* t = tile_at(plan, st, it, jt);
-            for (int i = 0; i < plan.v; ++i)
-              for (int j = 0; j < plan.v; ++j)
-                t[static_cast<std::size_t>(i) * plan.v + j] =
-                    (*a)(it * plan.v + i, jt * plan.v + j);
-          }
-      }
-    }
-
-    for (int t = 0; t < plan.steps; ++t) {
-      StepView sv_storage;
-      if (plan.numeric) sv_storage = make_step_view(plan, st, t);
-      const StepView& sv =
-          plan.numeric ? sv_storage : dry_sched[static_cast<std::size_t>(t)].sv;
-      reduce_panel_column(plan, st, comm, sv);                      // step 1
-      TournamentOutcome outcome = run_tournament(plan, st, comm, sv);  // 2
-      if (!plan.numeric)
-        outcome.pivots = dry_sched[static_cast<std::size_t>(t)].pivots;
-      broadcast_pivot_block(plan, st, comm, sv, outcome, world);    // step 3
-      if (want_records && comm.rank() == 0) {
-        StepRecord& rec = records[static_cast<std::size_t>(t)];
-        rec.pivots = outcome.pivots;
-        rec.a00 = outcome.a00;
-      }
-      const DryStep* ds =
-          plan.numeric ? nullptr : &dry_sched[static_cast<std::size_t>(t)];
-      Rem2 rem2_storage;
-      if (plan.numeric) rem2_storage = make_rem2(plan, sv, outcome.pivots);
-      const Rem2& rem2 = plan.numeric ? rem2_storage : ds->rem2;
-      const A10Panel a10_panel = solve_a10_at_leaders(               // 4 + 7
-          plan, st, comm, sv, rem2, outcome.a00,
-          want_records ? &records : nullptr);
-      const A01Panel a01_panel = solve_a01_at_aggregators(           // 5 + 9
-          plan, st, comm, sv, outcome.pivots, outcome.a00,
-          want_records ? &records : nullptr, ds);
-      const A10Slice a10 = multicast_a10(plan, st, comm, sv, rem2,   // 8
-                                         a10_panel);
-      const A01Slice a01 = multicast_a01(plan, st, comm, sv,         // 10
-                                         a01_panel);
-      schur_update_local(plan, st, a10, a01);                        // 11
-    }
-  });
-
-  LuResult result;
-  result.seconds = timer.seconds();
-  factor::fill_comm_stats(result, net, plan.active, cfg.p);
-  result.grid = plan.g.to_string();
-  result.block = plan.v;
-  if (want_records) {
-    const AssembledFactors f = assemble_factors(records, plan.n, plan.v);
-    if (cfg.verify) {
-      result.residual = masked_lu_residual(*a, f);
-      result.growth = masked_growth_factor(*a, f);
-    }
-    if (cfg.keep_factors) {
-      auto packed = std::make_shared<linalg::Matrix>(plan.n, plan.n);
-      for (int i = 0; i < plan.n; ++i)
-        for (int j = 0; j < plan.n; ++j)
-          (*packed)(i, j) = j < i ? f.l(i, j) : f.u(i, j);
-      result.factors = std::move(packed);
-      result.permutation = f.pivot_order;
-    }
-  }
-  return result;
+  return run_block25d(a, cfg, PanelTournament::Butterfly);
 }
 
 }  // namespace conflux::lu

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "lu/calu25d.hpp"
 #include "lu/candmc25d.hpp"
 #include "lu/conflux25d.hpp"
 #include "lu/scalapack2d.hpp"
@@ -14,6 +15,7 @@ std::unique_ptr<LuAlgorithm> make_algorithm(const std::string& name) {
   if (name == "LibSci") return std::make_unique<ScaLapack2D>(false);
   if (name == "SLATE") return std::make_unique<ScaLapack2D>(true);
   if (name == "CANDMC") return std::make_unique<Candmc25D>();
+  if (name == "CALU") return std::make_unique<Calu25D>();
   CONFLUX_EXPECTS_MSG(false, "unknown LU algorithm '" << name << "'");
   return nullptr;  // unreachable
 }
@@ -24,6 +26,7 @@ std::vector<std::unique_ptr<LuAlgorithm>> all_algorithms() {
   algos.push_back(make_algorithm("SLATE"));
   algos.push_back(make_algorithm("CANDMC"));
   algos.push_back(make_algorithm("COnfLUX"));
+  algos.push_back(make_algorithm("CALU"));
   return algos;
 }
 

@@ -1,7 +1,7 @@
 /// \file lu_common.hpp
 /// Configuration, result and interface types for the distributed LU
-/// implementations (COnfLUX and the three comparison targets of §8:
-/// Cray LibSci, SLATE, CANDMC).
+/// implementations (COnfLUX, the three comparison targets of §8 — Cray
+/// LibSci, SLATE, CANDMC — and the CALU tournament-pivoting backend).
 ///
 /// The family-neutral parts — problem shape, Numeric/DryRun duality,
 /// 2.5D ablation knobs, CommVolume reporting — live in
@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "factor/factorization.hpp"
+#include "factor/numerics.hpp"
 #include "linalg/matrix.hpp"
 
 namespace conflux::lu {
@@ -50,6 +51,16 @@ struct LuResult : factor::FactorResult {
   double growth = std::numeric_limits<double>::quiet_NaN();  ///< Numeric:
                                                              ///< max|U|/max|A|
 
+  /// The residual in units of machine epsilon — ‖PA−LU‖ / (‖A‖·n·eps), the
+  /// form the stability bounds (and the adversarial numerics suite) use.
+  /// Populated with `residual` by numeric runs with cfg.verify.
+  double residual_eps = std::numeric_limits<double>::quiet_NaN();
+
+  /// Pivot-sequence summary (rows == 0 when not populated): how far from
+  /// natural order the strategy pivoted, and the |U| diagonal extremes.
+  /// Populated by numeric runs with cfg.verify.
+  factor::PivotStats pivot_stats;
+
   /// Row permutation accompanying `factors` (the shared FactorResult
   /// member): the packed matrix holds L below the diagonal and U on/above
   /// it in permuted row order, with L*U = A[permutation, :]. Only
@@ -57,7 +68,7 @@ struct LuResult : factor::FactorResult {
   std::vector<int> permutation;
 };
 
-/// Interface implemented by all four LU algorithms.
+/// Interface implemented by all five LU algorithms.
 class LuAlgorithm : public factor::Factorization {
  public:
   /// Factor `a` under `cfg`. In DryRun mode `a` may be null. In Numeric
@@ -68,11 +79,12 @@ class LuAlgorithm : public factor::Factorization {
 };
 
 /// Instantiate an algorithm by table name: "COnfLUX", "LibSci", "SLATE",
-/// "CANDMC". Throws ContractViolation for unknown names.
+/// "CANDMC", "CALU". Throws ContractViolation for unknown names.
 [[nodiscard]] std::unique_ptr<LuAlgorithm> make_algorithm(
     const std::string& name);
 
-/// All four, in Table 2 order (LibSci, SLATE, CANDMC, COnfLUX).
+/// All five, Table 2 order first (LibSci, SLATE, CANDMC, COnfLUX), then the
+/// CALU tournament-pivoting backend.
 [[nodiscard]] std::vector<std::unique_ptr<LuAlgorithm>> all_algorithms();
 
 /// Deterministic synthetic pivot choice for dry runs: pick `v` rows from the

@@ -107,6 +107,28 @@ double ConfluxModel::leading_elements_per_rank(const Instance& inst) const {
   return inst.n * inst.n * inst.n / (inst.p * std::sqrt(inst.m_elements));
 }
 
+double CaluModel::elements_per_rank(const Instance& inst) const {
+  const int n = static_cast<int>(inst.n);
+  const auto choice = conflux::grid::optimize_grid(
+      static_cast<int>(inst.p), n, inst.m_elements);
+  const auto& g = choice.grid;
+  const double active = g.active();
+  const double per_rank = conflux::grid::conflux_cost_per_rank(
+      inst.n, g.px_extent(), g.py_extent(), g.layers());
+  const int v = conflux::grid::choose_block_size(
+      n, g.layers(), conflux::grid::default_block_target(n, g.layers()));
+  const double a00_bcast = inst.n * v + inst.n;
+  // Tree tournament: Px - 1 candidate blocks per panel (each <= 2v x v
+  // counted at both endpoints, like the butterfly term), no log factor.
+  const double tournament = 2.0 * inst.n * v * g.px_extent() / active;
+  return per_rank + a00_bcast + tournament;
+}
+
+double CaluModel::leading_elements_per_rank(const Instance& inst) const {
+  CONFLUX_EXPECTS(inst.m_elements > 0);
+  return inst.n * inst.n * inst.n / (inst.p * std::sqrt(inst.m_elements));
+}
+
 double lu_lower_bound_elements_per_rank(const Instance& inst) {
   CONFLUX_EXPECTS(inst.m_elements > 0);
   return 2.0 * inst.n * inst.n * inst.n /

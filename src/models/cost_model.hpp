@@ -95,6 +95,20 @@ class ConfluxModel final : public CostModel {
       const Instance& inst) const override;
 };
 
+/// CALU on the shared 2.5D engine: identical leading term and lower-order
+/// tails to COnfLUX except the step-2 tournament, where the binary
+/// reduction tree sends Px - 1 candidate blocks per panel instead of the
+/// butterfly's ~Px log2(Px). Kept out of standard_models() — Table 2 and
+/// the Fig. 6 reproductions compare exactly the paper's four
+/// implementations; CALU is the ablation extra.
+class CaluModel final : public CostModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "CALU"; }
+  [[nodiscard]] double elements_per_rank(const Instance& inst) const override;
+  [[nodiscard]] double leading_elements_per_rank(
+      const Instance& inst) const override;
+};
+
 /// The I/O lower bound of §6: 2N^3/(3 P sqrt M) + N^2/(2P) elements.
 [[nodiscard]] double lu_lower_bound_elements_per_rank(const Instance& inst);
 

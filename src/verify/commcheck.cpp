@@ -47,7 +47,8 @@ class MisuseCollector {
 /// True for the 2.5D backends whose schedule shape depends on the
 /// replication depth (the others ignore force_layers).
 bool has_layers(const Backend& b) {
-  return b.name == "COnfLUX" || b.name == "CANDMC" || b.name == "COnfCHOX";
+  return b.name == "COnfLUX" || b.name == "CANDMC" || b.name == "COnfCHOX" ||
+         b.name == "CALU";
 }
 
 }  // namespace
@@ -55,7 +56,8 @@ bool has_layers(const Backend& b) {
 std::vector<Backend> registered_backends() {
   return {{"LU", "LibSci"},        {"LU", "SLATE"},
           {"LU", "CANDMC"},        {"LU", "COnfLUX"},
-          {"Cholesky", "ScaLAPACK"}, {"Cholesky", "COnfCHOX"}};
+          {"LU", "CALU"},          {"Cholesky", "ScaLAPACK"},
+          {"Cholesky", "COnfCHOX"}};
 }
 
 std::string CheckResult::describe() const {

@@ -12,6 +12,7 @@
 
 #include "cholesky/cholesky_common.hpp"
 #include "linalg/generate.hpp"
+#include "lu/lu_common.hpp"
 #include "simnet/network.hpp"
 #include "simnet/trace.hpp"
 #include "support/assert.hpp"
@@ -225,6 +226,33 @@ TEST(SeededDefects, VolumeBelowLowerBoundIsDetected) {
   EXPECT_TRUE(any_diag(diags, "volume", "lower bound"));
 }
 
+TEST(SeededDefects, CaluRealScheduleDetectsSeededVolumeDefects) {
+  // The synthetic-graph defects above prove each pass in isolation; this
+  // runs them against the real CALU dry-run schedule so the new backend is
+  // part of the seeded-defect matrix too: clean as recorded, and each
+  // seeded accounting defect is caught on the genuine trace.
+  lu::LuConfig cfg;
+  cfg.n = 128;
+  cfg.p = 8;
+  cfg.mode = lu::Mode::DryRun;
+  TraceRecorder rec(8);
+  cfg.trace = &rec;
+  (void)lu::make_algorithm("CALU")->run(nullptr, cfg);
+  const CommGraph g = CommGraph::build(rec);
+
+  VolumeExpectation expect = consistent_expectation(g);
+  for (const Diagnostic& d : run_all_passes(g, expect))
+    ADD_FAILURE() << to_string(d);
+
+  VolumeExpectation off_by = expect;
+  off_by.total.bytes_sent += 42;
+  EXPECT_EQ(count_errors(check_volume(g, off_by), "volume"), 1);
+
+  VolumeExpectation impossible = expect;
+  impossible.lower_bound_bytes = 1e18;  // "proven" floor above the schedule
+  EXPECT_TRUE(any_diag(check_volume(g, impossible), "volume", "lower bound"));
+}
+
 TEST(SeededDefects, SelfSendsAreExcludedFromVolume) {
   // Multicast destination lists include the sender; StatsBoard counts no
   // bytes for the self-delivery and the graph accounting must agree.
@@ -335,9 +363,9 @@ TEST(CommCheck, EveryRegisteredBackendVerifiesClean) {
 }
 
 TEST(CommCheck, ForcedReplicationDepthsVerifyClean) {
-  for (const char* name : {"COnfLUX", "COnfCHOX"})
+  for (const char* name : {"COnfLUX", "CALU", "COnfCHOX"})
     for (int c : {1, 2}) {
-      Backend backend{name == std::string("COnfLUX") ? "LU" : "Cholesky",
+      Backend backend{name == std::string("COnfCHOX") ? "Cholesky" : "LU",
                       name};
       CheckConfig config;
       config.n = 128;
@@ -388,8 +416,8 @@ TEST(CommCheck, NumericRunsVerifyCleanToo) {
 
 TEST(CommCheck, SweepCoversEveryBackend) {
   const auto results = sweep({4}, {128});
-  // 4 LU + 2 Cholesky backends; the 2.5D ones run layers {auto, 1, 2}.
-  EXPECT_EQ(results.size(), 3u * 3 + 3u * 1);
+  // 5 LU + 2 Cholesky backends; the 2.5D ones run layers {auto, 1, 2}.
+  EXPECT_EQ(results.size(), 4u * 3 + 3u * 1);
   for (const CheckResult& r : results) EXPECT_TRUE(r.ok()) << r.describe();
 }
 

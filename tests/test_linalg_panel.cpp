@@ -116,6 +116,62 @@ TEST(PackUnpack, MalformedBufferThrows) {
   EXPECT_THROW(unpack_candidates(junk), ContractViolation);
 }
 
+// ---- the CALU reduction tree ---------------------------------------------
+
+TEST(ReductionTree, ScheduleShapeIsBinaryTree) {
+  // parts - 1 edges; in round r, odd multiples of 2^r send to the even
+  // multiple 2^r below; participant 0 never sends.
+  for (int parts : {1, 2, 3, 4, 5, 8, 13, 16}) {
+    const auto steps = reduction_tree_schedule(parts);
+    EXPECT_EQ(steps.size(), static_cast<std::size_t>(parts - 1)) << parts;
+    std::vector<int> sent(static_cast<std::size_t>(parts), 0);
+    for (const TreeStep& s : steps) {
+      EXPECT_GT(s.src, s.dst) << parts;
+      EXPECT_EQ(s.src - s.dst, 1 << s.round) << parts;
+      ++sent[static_cast<std::size_t>(s.src)];
+    }
+    // Every participant except the root sends exactly once.
+    EXPECT_EQ(sent[0], 0) << parts;
+    for (int p = 1; p < parts; ++p)
+      EXPECT_EQ(sent[static_cast<std::size_t>(p)], 1) << parts << "/" << p;
+  }
+}
+
+TEST(ReductionTree, RoundsAreMonotonicallyOrdered) {
+  const auto steps = reduction_tree_schedule(16);
+  for (std::size_t i = 1; i < steps.size(); ++i)
+    EXPECT_GE(steps[i].round, steps[i - 1].round);
+}
+
+TEST(ReductionTree, TournamentTreeMatchesPairwiseFold) {
+  // tournament_tree over the schedule must select the same winners as the
+  // explicit pairwise fold (tournament_round merges in global row order, so
+  // both reductions converge to the same set for power-of-two parts).
+  const int v = 4;
+  std::vector<PivotCandidates> parts;
+  for (int p = 0; p < 8; ++p)
+    parts.push_back(make_candidates(6, v, 50 + static_cast<unsigned>(p),
+                                    p * 100));
+  auto fold = parts;
+  for (auto& c : fold) c = select_best(c, v);
+  while (fold.size() > 1) {
+    std::vector<PivotCandidates> next;
+    for (std::size_t i = 0; i + 1 < fold.size(); i += 2)
+      next.push_back(tournament_round(fold[i], fold[i + 1], v));
+    fold = std::move(next);
+  }
+  const auto tree = tournament_tree(std::move(parts), v);
+  EXPECT_EQ(tree.rows, fold[0].rows);
+  EXPECT_EQ(max_abs_diff(tree.values.view(), fold[0].values.view()), 0.0);
+}
+
+TEST(ReductionTree, SingleParticipantIsSelectBest) {
+  const auto cand = make_candidates(10, 3, 51);
+  const auto expect = select_best(cand, 3);
+  const auto got = tournament_tree({cand}, 3);
+  EXPECT_EQ(got.rows, expect.rows);
+}
+
 class TournamentStability : public ::testing::TestWithParam<int> {};
 
 // Tournament pivoting selects pivots whose growth behaves like partial

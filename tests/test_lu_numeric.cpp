@@ -164,9 +164,10 @@ TEST(Interface, UnknownAlgorithmThrows) {
 
 TEST(Interface, AllAlgorithmsEnumerated) {
   const auto algos = all_algorithms();
-  ASSERT_EQ(algos.size(), 4u);
+  ASSERT_EQ(algos.size(), 5u);
   EXPECT_EQ(algos[0]->name(), "LibSci");
   EXPECT_EQ(algos[3]->name(), "COnfLUX");
+  EXPECT_EQ(algos[4]->name(), "CALU");
 }
 
 TEST(Interface, NumericModeRequiresMatrix) {

@@ -1,8 +1,12 @@
 // Tests for the linear-system solve layer: factor once with any of the
-// four distributed algorithms, then solve by permuted forward/backward
+// five distributed algorithms, then solve by permuted forward/backward
 // substitution. Backward-error checks across algorithms, matrix families
 // and multiple right-hand sides.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
 
 #include "linalg/blas.hpp"
 #include "linalg/generate.hpp"
@@ -48,7 +52,77 @@ TEST_P(SolveAlgos, InteractionMatrixSolves) {
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SolveAlgos,
                          ::testing::Values("COnfLUX", "LibSci", "SLATE",
-                                           "CANDMC"));
+                                           "CANDMC", "CALU"));
+
+// ---- adversarial multi-RHS solves ----------------------------------------
+// Build B = A * X_true so the true solution is known, factor once, solve
+// k right-hand sides, and check both the scaled backward residual and the
+// forward error against a conditioning-scaled tolerance per family.
+
+struct AdversarialSolveCase {
+  MatrixKind kind;
+  double forward_tol;  ///< ~ cond(A) * n * eps with an order of slack
+};
+
+class AdversarialSolve
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, AdversarialSolveCase>> {};
+
+TEST_P(AdversarialSolve, MultiRhsForwardErrorWithinConditioning) {
+  const auto [algo, c] = GetParam();
+  const int n = 64, k = 4;
+  const Matrix a = generate(n, c.kind, 95);
+  const Matrix xt = generate(n, k, MatrixKind::Uniform, 96);
+  Matrix b(n, k);
+  linalg::gemm(1.0, a.view(), xt.view(), 0.0, b.view());
+
+  LuConfig cfg;
+  cfg.n = n;
+  cfg.p = 8;
+  cfg.keep_factors = true;
+  const LuResult fact = make_algorithm(algo)->run(&a, cfg);
+  ASSERT_NE(fact.factors, nullptr) << algo;
+  const Matrix x = lu_solve(fact, b);
+
+  double fwd = 0.0, xt_max = 0.0;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < k; ++j) {
+      fwd = std::max(fwd, std::abs(x(i, j) - xt(i, j)));
+      xt_max = std::max(xt_max, std::abs(xt(i, j)));
+    }
+  EXPECT_LT(fwd / xt_max, c.forward_tol)
+      << algo << " on " << linalg::to_string(c.kind);
+
+  // Backward error stays eps-scale per column regardless of conditioning.
+  for (int j = 0; j < k; ++j) {
+    std::vector<double> xj(static_cast<std::size_t>(n));
+    std::vector<double> bj(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      xj[static_cast<std::size_t>(i)] = x(i, j);
+      bj[static_cast<std::size_t>(i)] = b(i, j);
+    }
+    EXPECT_LT(solve_residual(a, xj, bj), 1e-10)
+        << algo << " on " << linalg::to_string(c.kind) << " rhs " << j;
+  }
+}
+
+std::vector<std::tuple<const char*, AdversarialSolveCase>>
+adversarial_solve_grid() {
+  // Forward-error tolerances scale with each family's conditioning:
+  // graded ~2^48, randsvd cond 1e10, near-singular ~1e8.
+  const AdversarialSolveCase cases[] = {
+      {MatrixKind::Graded, 5e-1},
+      {MatrixKind::RandSvd, 1e-2},
+      {MatrixKind::NearSingular, 1e-4},
+  };
+  std::vector<std::tuple<const char*, AdversarialSolveCase>> out;
+  for (const char* algo : {"COnfLUX", "CALU", "LibSci"})
+    for (const AdversarialSolveCase& c : cases) out.emplace_back(algo, c);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, AdversarialSolve,
+                         ::testing::ValuesIn(adversarial_solve_grid()));
 
 TEST(Solve, FactorOnceSolveMany) {
   const int n = 80;

@@ -94,6 +94,24 @@ TEST(Models, LowerBoundBelowConflux) {
   }
 }
 
+TEST(Models, CaluTracksConfluxFromBelow) {
+  // The tree tournament only removes the butterfly's log factor from one
+  // lower-order term, so CALU's prediction sits at or below COnfLUX's and
+  // within 10% of it — and it never joins standard_models(): Table 2 and
+  // the Fig. 6 reproductions are pinned to the paper's four codes.
+  CaluModel calu;
+  ConfluxModel conflux;
+  for (double p : {64.0, 1024.0, 27648.0}) {
+    const Instance inst = max_replication_instance(16384, p);
+    EXPECT_LE(calu.elements_per_rank(inst), conflux.elements_per_rank(inst));
+    EXPECT_GT(calu.elements_per_rank(inst),
+              0.9 * conflux.elements_per_rank(inst));
+    EXPECT_EQ(calu.leading_elements_per_rank(inst),
+              conflux.leading_elements_per_rank(inst));
+  }
+  for (const auto& m : standard_models()) EXPECT_NE(m->name(), "CALU");
+}
+
 TEST(Models, ConfluxLeadingIs1Point5xOverBoundLeading) {
   const Instance inst = max_replication_instance(65536, 4096);
   ConfluxModel conflux;

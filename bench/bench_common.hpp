@@ -1,10 +1,14 @@
 /// \file bench_common.hpp
 /// Shared helpers for the reproduction harness: dry-run execution, model
-/// lookup, and the paper's reference values for side-by-side printing.
+/// lookup, the paper's reference values for side-by-side printing, and the
+/// common `--json` / `--trace` output machinery every bench shares.
 #pragma once
 
+#include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,19 +16,132 @@
 #include "models/cost_model.hpp"
 #include "models/predictions.hpp"
 #include "support/env.hpp"
+#include "support/json_writer.hpp"
 #include "support/table.hpp"
+#include "support/telemetry.hpp"
 #include "support/timer.hpp"
 
 namespace conflux::bench {
 
-/// Run one dry-run configuration and return the result.
-inline lu::LuResult run_dry(const std::string& algo, int n, int p) {
+/// Run one dry-run configuration and return the result. Pass a telemetry
+/// board (see BenchTrace) to profile the run with ConfScope spans.
+inline lu::LuResult run_dry(const std::string& algo, int n, int p,
+                            telemetry::TelemetryBoard* tel = nullptr) {
   lu::LuConfig cfg;
   cfg.n = n;
   cfg.p = p;
   cfg.mode = lu::Mode::DryRun;
+  cfg.telemetry = tel;
   return lu::make_algorithm(algo)->run(nullptr, cfg);
 }
+
+/// Common bench CLI flags, shared by every bench that produces artifacts:
+/// `--json[=path]` (machine-readable summary) and `--trace=path` (merged
+/// Chrome-trace/Perfetto profile of the measured runs).
+struct BenchArgs {
+  std::string json_path;   ///< empty = no JSON summary
+  std::string trace_path;  ///< empty = no Chrome trace
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv,
+                                  const std::string& default_json) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json")
+      args.json_path = default_json;
+    else if (arg.rfind("--json=", 0) == 0)
+      args.json_path = arg.substr(7);
+    else if (arg.rfind("--trace=", 0) == 0)
+      args.trace_path = arg.substr(8);
+  }
+  return args;
+}
+
+/// One measured point for the shared BENCH_*.json emitter.
+struct BenchPoint {
+  int p = 0;
+  int n = 0;  ///< ignored when the file carries a fixed top-level N
+  std::string impl;
+  double seconds = 0;
+  double bytes_per_rank = 0;
+  double total_bytes = 0;
+  std::uint64_t messages = 0;
+  std::string grid;
+};
+
+/// Write the shared bench JSON shape:
+///   {"bench": ..., ["n": N,] "scale": ..., "points": [{...}]}
+/// `fixed_n > 0` lifts N to the top level (fixed-size sweeps, fig6a);
+/// otherwise each point carries its own "n" (weak scaling, fig6b/7).
+inline void write_bench_json(const std::string& path, const std::string& bench,
+                             int fixed_n,
+                             const std::vector<BenchPoint>& points) {
+  std::ofstream os(path);
+  support::JsonWriter w(os);
+  w.begin_object();
+  w.kv("bench", bench);
+  if (fixed_n > 0) w.kv("n", fixed_n);
+  w.kv("scale", bench_scale() == BenchScale::Full ? "full" : "small");
+  w.key("points");
+  w.begin_array();
+  for (const BenchPoint& pt : points) {
+    w.begin_object();
+    w.kv("p", pt.p);
+    if (fixed_n <= 0) w.kv("n", pt.n);
+    w.kv("impl", pt.impl);
+    w.kv("seconds", pt.seconds);
+    w.kv("bytes_per_rank", pt.bytes_per_rank);
+    w.kv("total_bytes", pt.total_bytes);
+    w.kv("messages", pt.messages);
+    w.kv("grid", pt.grid);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+  std::cout << "\nwrote " << path << "\n";
+}
+
+/// Accumulates one TelemetryBoard per measured run into a merged Chrome
+/// trace (one process per labelled run, one thread per rank). Constructed
+/// with an empty path, every call is a no-op and board() returns null, so
+/// untraced bench runs stay telemetry-free.
+class BenchTrace {
+ public:
+  explicit BenchTrace(const std::string& path) : path_(path) {
+    if (path_.empty()) return;
+    os_ = std::make_unique<std::ofstream>(path_);
+    writer_ = std::make_unique<telemetry::ChromeTraceWriter>(*os_);
+  }
+
+  /// The board to pass to run_dry / FactorConfig::telemetry (null when
+  /// tracing is off). The attached run's Network resets it, so call add()
+  /// after each run before starting the next.
+  [[nodiscard]] telemetry::TelemetryBoard* board() {
+    return writer_ ? &board_ : nullptr;
+  }
+
+  /// Flush the last run's spans as process `label`.
+  void add(const std::string& label) {
+    if (writer_) writer_->add_process(pid_++, label, board_);
+  }
+
+  void finish() {
+    if (!writer_) return;
+    writer_->finish();
+    writer_.reset();
+    os_.reset();
+    std::cout << "wrote Chrome trace to " << path_ << "\n";
+  }
+
+ private:
+  std::string path_;
+  telemetry::TelemetryBoard board_;
+  std::unique_ptr<std::ofstream> os_;
+  std::unique_ptr<telemetry::ChromeTraceWriter> writer_;
+  int pid_ = 0;
+};
 
 /// Model prediction in bytes for one implementation.
 inline double model_bytes(const std::string& algo, double n, double p,

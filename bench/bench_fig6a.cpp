@@ -7,10 +7,8 @@
 /// `--json[=path]` additionally writes a machine-readable summary
 /// (per-point wall-clock seconds and volumes) to `path` (default
 /// BENCH_simnet.json) so the simulator's perf trajectory can be tracked
-/// across PRs.
-#include <fstream>
-#include <sstream>
-
+/// across PRs; `--trace=path` writes a merged Chrome-trace profile of the
+/// measured sweep (one process per point).
 #include "bench/bench_common.hpp"
 #include "support/timer.hpp"
 
@@ -18,14 +16,8 @@ int main(int argc, char** argv) {
   using namespace conflux;
   using namespace conflux::bench;
 
-  std::string json_path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json")
-      json_path = "BENCH_simnet.json";
-    else if (arg.rfind("--json=", 0) == 0)
-      json_path = arg.substr(7);
-  }
+  const BenchArgs args = parse_bench_args(argc, argv, "BENCH_simnet.json");
+  BenchTrace trace(args.trace_path);
 
   const bool full = bench_scale() == BenchScale::Full;
   const int n = full ? 16384 : 2048;
@@ -35,28 +27,23 @@ int main(int argc, char** argv) {
 
   std::cout << "== Figure 6a: comm volume per node vs P (N = " << n
             << ") ==\n\n";
-  std::ostringstream points;
+  std::vector<BenchPoint> points;
   Table table({"P", "impl", "measured MB/node", "model MB/node",
                "leading MB/node", "seconds", "grid"});
-  bool first_point = true;
   for (int p : ps) {
     for (const std::string& algo : algo_names()) {
       Stopwatch sw;
-      const lu::LuResult res = run_dry(algo, n, p);
+      const lu::LuResult res = run_dry(algo, n, p, trace.board());
       const double seconds = sw.seconds();
+      trace.add(algo + "/p" + std::to_string(p));
       table.add_row(
           {std::to_string(p), algo, fmt(res.bytes_per_rank() / 1e6, 4),
            fmt(model_bytes(algo, n, p) / p / 1e6, 4),
            fmt(model_bytes(algo, n, p, true) / p / 1e6, 4), fmt(seconds, 4),
            res.grid});
-      if (!first_point) points << ",";
-      first_point = false;
-      points << "\n    {\"p\": " << p << ", \"impl\": \"" << algo
-             << "\", \"seconds\": " << seconds
-             << ", \"bytes_per_rank\": " << res.bytes_per_rank()
-             << ", \"total_bytes\": " << res.total_bytes()
-             << ", \"messages\": " << res.total.messages_sent
-             << ", \"grid\": \"" << res.grid << "\"}";
+      points.push_back({p, n, algo, seconds, res.bytes_per_rank(),
+                        res.total_bytes(), res.total.messages_sent,
+                        res.grid});
     }
   }
   table.print(std::cout, 2);
@@ -86,12 +73,8 @@ int main(int argc, char** argv) {
                "awkward P; LibSci/SLATE near-identical; CANDMC highest at "
                "all measured scales.\n";
 
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << "{\n  \"bench\": \"fig6a\",\n  \"n\": " << n
-        << ",\n  \"scale\": \"" << (full ? "full" : "small")
-        << "\",\n  \"points\": [" << points.str() << "\n  ]\n}\n";
-    std::cout << "\nwrote " << json_path << "\n";
-  }
+  if (!args.json_path.empty())
+    write_bench_json(args.json_path, "fig6a", n, points);
+  trace.finish();
   return 0;
 }

@@ -1,14 +1,20 @@
 /// bench_fig6b — regenerates Figure 6b: weak scaling with constant work per
 /// node, N = 3200 * P^(1/3). The 2.5D algorithms (COnfLUX, CANDMC) keep the
 /// per-node volume ~constant; the 2D libraries grow like P^(1/6).
+///
+/// `--json[=path]` writes the per-point summary (default BENCH_fig6b.json,
+/// shared emitter shape); `--trace=path` a merged Chrome-trace profile.
 #include <cmath>
 
 #include "bench/bench_common.hpp"
 #include "grid/grid_opt.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace conflux;
   using namespace conflux::bench;
+
+  const BenchArgs args = parse_bench_args(argc, argv, "BENCH_fig6b.json");
+  BenchTrace trace(args.trace_path);
 
   const bool full = bench_scale() == BenchScale::Full;
   const double n0 = full ? 3200.0 : 640.0;
@@ -20,23 +26,33 @@ int main() {
   Table table({"P", "N", "impl", "measured MB/node", "model MB/node",
                "growth vs first"});
   std::map<std::string, double> first;
+  std::vector<BenchPoint> points;
   for (int p : ps) {
     // Round N to a block-friendly multiple near n0 * P^(1/3).
     const int raw = static_cast<int>(std::lround(n0 * std::cbrt(p)));
     const int n = std::max(128, (raw / 128) * 128);
     for (const std::string& algo : algo_names()) {
-      const lu::LuResult res = run_dry(algo, n, p);
+      Stopwatch sw;
+      const lu::LuResult res = run_dry(algo, n, p, trace.board());
+      const double seconds = sw.seconds();
+      trace.add(algo + "/p" + std::to_string(p));
       const double per_node = res.bytes_per_rank() / 1e6;
       if (first.find(algo) == first.end()) first[algo] = per_node;
       table.add_row({std::to_string(p), std::to_string(n), algo,
                      fmt(per_node, 4),
                      fmt(model_bytes(algo, n, p) / p / 1e6, 4),
                      fmt(per_node / first[algo], 3) + "x"});
+      points.push_back({p, n, algo, seconds, res.bytes_per_rank(),
+                        res.total_bytes(), res.total.messages_sent,
+                        res.grid});
     }
   }
   table.print(std::cout, 2);
   std::cout << "\nExpected shape: 2.5D algorithms (COnfLUX) retain ~constant "
                "volume per node; 2D algorithms (LibSci, SLATE) grow ~P^(1/6) "
                "— cf. the paper's Fig. 6b.\n";
+  if (!args.json_path.empty())
+    write_bench_json(args.json_path, "fig6b", 0, points);
+  trace.finish();
   return 0;
 }

@@ -3,13 +3,20 @@
 /// and model-based predictions up to P = 262,144 and machine-scale runs
 /// (Piz Daint, Summit, TaihuLight), annotated with the second-best library
 /// (L = LibSci, S = SLATE, C = CANDMC).
+///
+/// `--json[=path]` writes the measured sweep's raw per-(N, P, impl) volumes
+/// (default BENCH_fig7.json, shared emitter shape — the reduction factors
+/// are derivable); `--trace=path` a merged Chrome-trace profile.
 #include "bench/bench_common.hpp"
 #include "models/machines.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace conflux;
   using namespace conflux::bench;
   using models::NamedVolume;
+
+  const BenchArgs args = parse_bench_args(argc, argv, "BENCH_fig7.json");
+  BenchTrace trace(args.trace_path);
 
   const bool full = bench_scale() == BenchScale::Full;
 
@@ -21,12 +28,21 @@ int main() {
       full ? std::vector<int>{64, 256, 1024} : std::vector<int>{16, 64};
 
   Table measured({"N", "P", "reduction", "second best"});
+  std::vector<BenchPoint> points;
   for (int n : ns) {
     for (int p : ps) {
       if (full && n == 8192 && p == 1024) continue;  // heaviest cell: skip
       std::vector<NamedVolume> entries;
-      for (const std::string& algo : algo_names())
-        entries.push_back({algo, run_dry(algo, n, p).total_bytes()});
+      for (const std::string& algo : algo_names()) {
+        Stopwatch sw;
+        const lu::LuResult res = run_dry(algo, n, p, trace.board());
+        const double seconds = sw.seconds();
+        trace.add(algo + "/n" + std::to_string(n) + "/p" + std::to_string(p));
+        entries.push_back({algo, res.total_bytes()});
+        points.push_back({p, n, algo, seconds, res.bytes_per_rank(),
+                          res.total_bytes(), res.total.messages_sent,
+                          res.grid});
+      }
       const auto red = models::reduction_vs_second_best(entries);
       measured.add_row({std::to_string(n), std::to_string(p),
                         fmt(red.factor, 3) + "x",
@@ -78,5 +94,8 @@ int main() {
                "asymptotic optimality is not enough.\n"
             << "Paper headline: 1.42x at P=1024/N=16384 measured, up to 4.1x "
                "in-sweep, ~2.1x predicted on full-scale Summit.\n";
+  if (!args.json_path.empty())
+    write_bench_json(args.json_path, "fig7", 0, points);
+  trace.finish();
   return 0;
 }

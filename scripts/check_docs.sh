@@ -8,9 +8,9 @@
 #     External links (http/https/mailto) and pure #anchors are ignored;
 #     `path#anchor` links are checked for the path part only.
 #  3. No stale CLI flags: every `--flag` a Markdown line mentions alongside
-#     one of the repo's binaries (commcheck, bench_*) must appear literally
-#     in that binary's source, so docs cannot outlive a renamed or removed
-#     option.
+#     one of the repo's binaries (commcheck, confscope, bench_*) must appear
+#     literally in that binary's source, so docs cannot outlive a renamed or
+#     removed option.
 #  4. No malformed Doxygen member markers: a bare `/<` (a typo for the
 #     `///<` trailing-comment marker) renders as literal noise in the docs
 #     and silently drops the comment from the generated output.
@@ -48,13 +48,14 @@ done < <(find . -name build -prune -o -name '*.md' -print | sort)
 flag_source_for() {
   case "$1" in
     commcheck) echo "tools/commcheck.cpp" ;;
+    confscope) echo "tools/confscope.cpp" ;;
     bench_*) echo "bench/$1.cpp" ;;
   esac
 }
 
 while IFS= read -r md; do
   while IFS= read -r line; do
-    for bin in $(grep -oE '\b(commcheck|bench_[a-z0-9_]+)\b' <<<"$line" |
+    for bin in $(grep -oE '\b(commcheck|confscope|bench_[a-z0-9_]+)\b' <<<"$line" |
                  sort -u); do
       src=$(flag_source_for "$bin")
       [ -f "$src" ] || continue  # binary gated off (e.g. bench_kernels): skip
@@ -68,7 +69,7 @@ while IFS= read -r md; do
         fi
       done
     done
-  done < <(grep -E '\b(commcheck|bench_[a-z0-9_]+)\b.*--[a-z]' "$md" || true)
+  done < <(grep -E '\b(commcheck|confscope|bench_[a-z0-9_]+)\b.*--[a-z]' "$md" || true)
 done < <(find . -mindepth 1 \( -name build -o -name '.*' \) -prune -o \
          -name '*.md' -print | sort)
 

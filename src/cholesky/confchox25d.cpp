@@ -11,6 +11,7 @@
 #include "linalg/potrf.hpp"
 #include "simnet/collectives.hpp"
 #include "simnet/spmd.hpp"
+#include "support/telemetry.hpp"
 #include "support/timer.hpp"
 
 namespace conflux::cholesky {
@@ -34,6 +35,7 @@ struct Plan {
   Grid3D g{1, 1, 1};
   int active = 0;
   bool numeric = true;
+  telemetry::TelemetryBoard* tel = nullptr;  ///< ConfScope spans (optional)
 };
 
 /// Per-rank mutable state. Tile storage mirrors COnfLUX: tiles
@@ -443,6 +445,8 @@ CholResult Confchox25D::run(const linalg::Matrix* a, const CholConfig& cfg) {
 
   simnet::Network net(plan.active);
   if (cfg.trace != nullptr) net.set_trace(cfg.trace);
+  if (cfg.telemetry != nullptr) net.set_telemetry(cfg.telemetry);
+  plan.tel = cfg.telemetry;
   const simnet::Group world = simnet::Group::iota(plan.active);
 
   Stopwatch timer;
@@ -472,26 +476,43 @@ CholResult Confchox25D::run(const linalg::Matrix* a, const CholConfig& cfg) {
       }
     }
 
+    const int me = comm.rank();
     for (int t = 0; t < plan.steps; ++t) {
       const int l_star = t % plan.g.layers();
       const int py_c = t % plan.g.py_extent();
-      reduce_panel_column(plan, st, comm, t, l_star, py_c);        // step 1
-      const Matrix a00 = factor_and_bcast_a00(plan, st, comm, t,   // step 2
-                                              l_star, py_c, world, &not_spd);
-      if (want_records && comm.rank() == 0) {
+      {
+        const telemetry::ScopedSpan span(plan.tel, me,
+                                         telemetry::kLayerReduction, t);
+        reduce_panel_column(plan, st, comm, t, l_star, py_c);      // step 1
+      }
+      Matrix a00;
+      {
+        const telemetry::ScopedSpan span(plan.tel, me,
+                                         telemetry::kPanelFactor, t);
+        a00 = factor_and_bcast_a00(plan, st, comm, t,              // step 2
+                                   l_star, py_c, world, &not_spd);
+      }
+      if (want_records && me == 0) {
         StepRecord& rec = records[static_cast<std::size_t>(t)];
         for (int q = 0; q < plan.v; ++q)
           rec.pivots[static_cast<std::size_t>(q)] = t * plan.v + q;
         rec.a00 = a00;
       }
-      const PanelL10 panel = solve_panel(plan, st, t, l_star, py_c,  // step 3
-                                         a00,
-                                         want_records ? &records : nullptr);
-      const RowSlice rows = multicast_rows(plan, st, comm, t,      // step 4
-                                           l_star, py_c, panel);
-      const ColSlice cols = multicast_cols(plan, st, comm, t,      // step 5
-                                           l_star, py_c, panel);
-      schur_update_local(plan, st, rows, cols);                    // step 6
+      PanelL10 panel;
+      {
+        const telemetry::ScopedSpan span(plan.tel, me, telemetry::kTrsm, t);
+        panel = solve_panel(plan, st, t, l_star, py_c,             // step 3
+                            a00, want_records ? &records : nullptr);
+      }
+      {
+        const telemetry::ScopedSpan span(plan.tel, me,
+                                         telemetry::kSchurUpdate, t);
+        const RowSlice rows = multicast_rows(plan, st, comm, t,    // step 4
+                                             l_star, py_c, panel);
+        const ColSlice cols = multicast_cols(plan, st, comm, t,    // step 5
+                                             l_star, py_c, panel);
+        schur_update_local(plan, st, rows, cols);                  // step 6
+      }
     }
   });
 

@@ -10,6 +10,7 @@
 #include "linalg/potrf.hpp"
 #include "simnet/collectives.hpp"
 #include "simnet/spmd.hpp"
+#include "support/telemetry.hpp"
 #include "support/timer.hpp"
 
 namespace conflux::cholesky {
@@ -58,6 +59,7 @@ struct BodyParams {
   const Matrix* a = nullptr;
   Matrix* gathered = nullptr;  ///< out-of-band factor collection (verify)
   std::atomic<bool>* not_spd = nullptr;
+  telemetry::TelemetryBoard* tel = nullptr;  ///< ConfScope spans (optional)
 };
 
 void cholesky2d_body(Comm& comm, const BodyParams& params) {
@@ -66,6 +68,7 @@ void cholesky2d_body(Comm& comm, const BodyParams& params) {
   const Grid2D& g = params.g;
   const bool numeric = params.numeric;
   CONFLUX_EXPECTS(n % nb == 0);
+  const int me_rank = comm.rank();
 
   Local2D me;
   me.pr = g.row_of(comm.rank());
@@ -107,6 +110,8 @@ void cholesky2d_body(Comm& comm, const BodyParams& params) {
     // ---- Diagonal block: factor and broadcast L00 down the column -------
     Matrix l00(nb, nb);
     if (me.pc == pck) {
+      const telemetry::ScopedSpan span(params.tel, me_rank,
+                                       telemetry::kPanelFactor, s);
       const Group cg = col_group(pck);
       if (numeric) {
         std::vector<double> buf(static_cast<std::size_t>(nb) * nb, 0.0);
@@ -131,13 +136,18 @@ void cholesky2d_body(Comm& comm, const BodyParams& params) {
     // ---- Panel solve: L10 := A10 * L00^{-T} on the panel column ---------
     const int mrow0 = me.lrow_lower_bound(k0 + nb);
     const int mtrail = static_cast<int>(me.my_rows.size()) - mrow0;
-    if (numeric && me.pc == pck && mtrail > 0)
+    if (numeric && me.pc == pck && mtrail > 0) {
+      const telemetry::ScopedSpan span(params.tel, me_rank,
+                                       telemetry::kTrsm, s);
       linalg::trsm_right_lower_transposed(
           l00.view(), me.loc.block(mrow0, me.lcol(k0), mtrail, nb));
+    }
 
     // ---- Broadcast the L panel along process rows -----------------------
     Matrix lpanel;  // mtrail x nb, rows ascending global (>= k0 + nb)
     {
+      const telemetry::ScopedSpan span(params.tel, me_rank,
+                                       telemetry::kSchurUpdate, s);
       const Group rg = row_group(me.pr);
       const Tag tag = make_tag(24, ts, 0);
       if (numeric) {
@@ -166,6 +176,8 @@ void cholesky2d_body(Comm& comm, const BodyParams& params) {
     Matrix colpanel;  // nb x ntrail: colpanel(k, jc) = L10(col_jc, k)
     if (numeric && ntrail > 0) colpanel = Matrix(nb, ntrail);
     {
+      const telemetry::ScopedSpan span(params.tel, me_rank,
+                                       telemetry::kSchurUpdate, s);
       const Group cg = col_group(me.pc);
       for (int pr = 0; pr < g.rows(); ++pr) {
         // Trailing columns of this process column whose L10 row lives on
@@ -204,9 +216,12 @@ void cholesky2d_body(Comm& comm, const BodyParams& params) {
     }
 
     // ---- Local trailing update A11 -= L10 * L10^T -----------------------
-    if (numeric && mtrail > 0 && ntrail > 0)
+    if (numeric && mtrail > 0 && ntrail > 0) {
+      const telemetry::ScopedSpan span(params.tel, me_rank,
+                                       telemetry::kSchurUpdate, s);
       linalg::schur_update(me.loc.block(mrow0, ncol0, mtrail, ntrail),
                            lpanel.view(), colpanel.view());
+    }
   }
 
   // ---- Out-of-band result collection (not part of measured volume) -----
@@ -236,6 +251,7 @@ CholResult Scalapack2DCholesky::run(const linalg::Matrix* a,
   params.g = g;
   params.numeric = (cfg.mode == Mode::Numeric);
   params.a = a;
+  params.tel = cfg.telemetry;
   std::atomic<bool> not_spd{false};
   params.not_spd = &not_spd;
 
@@ -248,6 +264,7 @@ CholResult Scalapack2DCholesky::run(const linalg::Matrix* a,
 
   simnet::Network net(g.active());
   if (cfg.trace != nullptr) net.set_trace(cfg.trace);
+  if (cfg.telemetry != nullptr) net.set_telemetry(cfg.telemetry);
   Stopwatch timer;
   simnet::run_spmd(net,
                    [&](simnet::Comm& comm) { cholesky2d_body(comm, params); });

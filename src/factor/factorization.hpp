@@ -27,6 +27,10 @@ class Network;
 class TraceRecorder;
 }  // namespace conflux::simnet
 
+namespace conflux::telemetry {
+class TelemetryBoard;
+}  // namespace conflux::telemetry
+
 namespace conflux::factor {
 
 /// Execution mode.
@@ -64,6 +68,15 @@ struct FactorConfig {
   /// (src/verify, tools/commcheck) extracts the communication graph of a
   /// dry run; numeric runs can attach it too to check the dry-run contract.
   simnet::TraceRecorder* trace = nullptr;
+
+  /// Optional ConfScope telemetry (support/telemetry.hpp), mirroring the
+  /// `trace` hook: when set, the run's Network attaches this board, the
+  /// backend opens a span per step-record phase (panel tournament, pivot
+  /// apply, TRSM, Schur update, layer reduction), and the fabric attributes
+  /// sent bytes to the sender's open span and blocked-in-recv time to
+  /// (src, tag) wait samples. Null (the default) costs nothing on the hot
+  /// path.
+  telemetry::TelemetryBoard* telemetry = nullptr;
 };
 
 /// The common part of one factorization run's result. Derived result types

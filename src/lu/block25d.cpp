@@ -11,6 +11,7 @@
 #include "simnet/collectives.hpp"
 #include "simnet/spmd.hpp"
 #include "support/random.hpp"
+#include "support/telemetry.hpp"
 #include "support/timer.hpp"
 
 namespace conflux::lu {
@@ -42,6 +43,7 @@ struct Plan {
   bool numeric = true;
   std::uint64_t seed = 42;
   PanelTournament tournament = PanelTournament::Butterfly;
+  telemetry::TelemetryBoard* tel = nullptr;  ///< ConfScope board (nullable)
 };
 
 /// Per-rank mutable state.
@@ -515,6 +517,11 @@ A01Panel solve_a01_at_aggregators(const Plan& plan, RankState& st,
   const auto& my_qs = qs_of_px[static_cast<std::size_t>(st.me.px)];
   const std::size_t seg_count = my_qs.size() * my_tile_cols.size();
   if (seg_count > 0) {
+    // Step 5 is the lazy cross-layer reduction of the pivot rows; its
+    // traffic belongs to the layer_reduction phase even though the engine
+    // reaches it from inside the TRSM step block (nested span wins).
+    const telemetry::ScopedSpan span(plan.tel, comm.rank(),
+                                     telemetry::kLayerReduction, sv.t);
     const int dst = plan.g.rank_of({sv.px_c, st.me.py, sv.l_star});
     const Tag tag = make_tag(5, static_cast<std::uint32_t>(sv.t), 0);
     if (plan.numeric) {
@@ -538,22 +545,28 @@ A01Panel solve_a01_at_aggregators(const Plan& plan, RankState& st,
 
   const int my_width = static_cast<int>(panel.my_cols.size());
   if (plan.numeric) panel.agg = Matrix(v, my_width);
-  for (int px = 0; px < px_count; ++px) {
-    if (qs_of_px[static_cast<std::size_t>(px)].empty()) continue;
-    for (int l = 0; l < plan.g.layers(); ++l) {
-      const int src = plan.g.rank_of({px, st.me.py, l});
-      const Tag tag = make_tag(5, static_cast<std::uint32_t>(sv.t), 0);
-      if (plan.numeric) {
-        const simnet::BufferView buf = comm.recv_view(src, tag);
-        const double* in = buf.data();
-        for (std::size_t jc = 0; jc < my_tile_cols.size(); ++jc)
-          for (int q : qs_of_px[static_cast<std::size_t>(px)]) {
-            auto row = panel.agg.row(q);
-            for (int k = 0; k < v; ++k)
-              row[jc * static_cast<std::size_t>(v) + k] += *in++;
-          }
-      } else {
-        (void)comm.recv_ghost(src, tag);
+  {
+    // The aggregation receives are the other half of the step-5 lazy
+    // reduction (see the send above).
+    const telemetry::ScopedSpan span(plan.tel, comm.rank(),
+                                     telemetry::kLayerReduction, sv.t);
+    for (int px = 0; px < px_count; ++px) {
+      if (qs_of_px[static_cast<std::size_t>(px)].empty()) continue;
+      for (int l = 0; l < plan.g.layers(); ++l) {
+        const int src = plan.g.rank_of({px, st.me.py, l});
+        const Tag tag = make_tag(5, static_cast<std::uint32_t>(sv.t), 0);
+        if (plan.numeric) {
+          const simnet::BufferView buf = comm.recv_view(src, tag);
+          const double* in = buf.data();
+          for (std::size_t jc = 0; jc < my_tile_cols.size(); ++jc)
+            for (int q : qs_of_px[static_cast<std::size_t>(px)]) {
+              auto row = panel.agg.row(q);
+              for (int k = 0; k < v; ++k)
+                row[jc * static_cast<std::size_t>(v) + k] += *in++;
+            }
+        } else {
+          (void)comm.recv_ghost(src, tag);
+        }
       }
     }
   }
@@ -799,6 +812,8 @@ LuResult run_block25d(const linalg::Matrix* a, const LuConfig& cfg,
 
   simnet::Network net(plan.active);
   if (cfg.trace != nullptr) net.set_trace(cfg.trace);
+  if (cfg.telemetry != nullptr) net.set_telemetry(cfg.telemetry);
+  plan.tel = cfg.telemetry;
   const simnet::Group world = simnet::Group::iota(plan.active);
 
   Stopwatch timer;
@@ -830,16 +845,30 @@ LuResult run_block25d(const linalg::Matrix* a, const LuConfig& cfg,
       }
     }
 
+    const int me = comm.rank();
     for (int t = 0; t < plan.steps; ++t) {
       StepView sv_storage;
       if (plan.numeric) sv_storage = make_step_view(plan, st, t);
       const StepView& sv =
           plan.numeric ? sv_storage : dry_sched[static_cast<std::size_t>(t)].sv;
-      reduce_panel_column(plan, st, comm, sv);                      // step 1
-      TournamentOutcome outcome = run_tournament(plan, st, comm, sv);  // 2
+      {
+        const telemetry::ScopedSpan span(plan.tel, me,
+                                         telemetry::kLayerReduction, t);
+        reduce_panel_column(plan, st, comm, sv);                    // step 1
+      }
+      TournamentOutcome outcome;
+      {
+        const telemetry::ScopedSpan span(plan.tel, me,
+                                         telemetry::kPanelTournament, t);
+        outcome = run_tournament(plan, st, comm, sv);               // step 2
+      }
       if (!plan.numeric)
         outcome.pivots = dry_sched[static_cast<std::size_t>(t)].pivots;
-      broadcast_pivot_block(plan, st, comm, sv, outcome, world);    // step 3
+      {
+        const telemetry::ScopedSpan span(plan.tel, me,
+                                         telemetry::kPivotApply, t);
+        broadcast_pivot_block(plan, st, comm, sv, outcome, world);  // step 3
+      }
       if (want_records && comm.rank() == 0) {
         StepRecord& rec = records[static_cast<std::size_t>(t)];
         rec.pivots = outcome.pivots;
@@ -850,17 +879,26 @@ LuResult run_block25d(const linalg::Matrix* a, const LuConfig& cfg,
       Rem2 rem2_storage;
       if (plan.numeric) rem2_storage = make_rem2(plan, sv, outcome.pivots);
       const Rem2& rem2 = plan.numeric ? rem2_storage : ds->rem2;
-      const A10Panel a10_panel = solve_a10_at_leaders(               // 4 + 7
-          plan, st, comm, sv, rem2, outcome.a00,
-          want_records ? &records : nullptr);
-      const A01Panel a01_panel = solve_a01_at_aggregators(           // 5 + 9
-          plan, st, comm, sv, outcome.pivots, outcome.a00,
-          want_records ? &records : nullptr, ds);
-      const A10Slice a10 = multicast_a10(plan, st, comm, sv, rem2,   // 8
-                                         a10_panel);
-      const A01Slice a01 = multicast_a01(plan, st, comm, sv,         // 10
-                                         a01_panel);
-      schur_update_local(plan, st, a10, a01);                        // 11
+      A10Panel a10_panel;
+      A01Panel a01_panel;
+      {
+        const telemetry::ScopedSpan span(plan.tel, me, telemetry::kTrsm, t);
+        a10_panel = solve_a10_at_leaders(                            // 4 + 7
+            plan, st, comm, sv, rem2, outcome.a00,
+            want_records ? &records : nullptr);
+        a01_panel = solve_a01_at_aggregators(                        // 5 + 9
+            plan, st, comm, sv, outcome.pivots, outcome.a00,
+            want_records ? &records : nullptr, ds);
+      }
+      {
+        const telemetry::ScopedSpan span(plan.tel, me,
+                                         telemetry::kSchurUpdate, t);
+        const A10Slice a10 = multicast_a10(plan, st, comm, sv, rem2,  // 8
+                                           a10_panel);
+        const A01Slice a01 = multicast_a01(plan, st, comm, sv,        // 10
+                                           a01_panel);
+        schur_update_local(plan, st, a10, a01);                       // 11
+      }
     }
   });
 

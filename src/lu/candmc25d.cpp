@@ -46,6 +46,7 @@ LuResult Candmc25D::run(const linalg::Matrix* a, const LuConfig& cfg) {
 
   simnet::Network net(active);
   if (cfg.trace != nullptr) net.set_trace(cfg.trace);
+  if (cfg.telemetry != nullptr) net.set_telemetry(cfg.telemetry);
   Stopwatch timer;
   simnet::run_spmd(net, [&](simnet::Comm& comm) {
     const int layer = comm.rank() / face.active();
@@ -57,6 +58,7 @@ LuResult Candmc25D::run(const linalg::Matrix* a, const LuConfig& cfg) {
     params.numeric = numeric;
     params.seed = cfg.seed;  // identical pivots keep replicas coherent
     params.a = a;
+    params.tel = cfg.telemetry;
     if (gather && layer == 0) {
       params.gathered = &gathered;
       params.ipiv_out = &ipiv;

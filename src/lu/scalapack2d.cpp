@@ -11,6 +11,7 @@
 #include "simnet/collectives.hpp"
 #include "simnet/spmd.hpp"
 #include "support/random.hpp"
+#include "support/telemetry.hpp"
 #include "support/timer.hpp"
 
 namespace conflux::lu {
@@ -63,6 +64,7 @@ void scalapack2d_body(Comm& comm, const Scalapack2DParams& params) {
   const Grid2D& g = params.g;
   const bool numeric = params.numeric;
   CONFLUX_EXPECTS(n % nb == 0);
+  const int me_rank = comm.rank();
 
   Local2D me;
   {
@@ -115,6 +117,8 @@ void scalapack2d_body(Comm& comm, const Scalapack2DParams& params) {
     // ---- Panel factorization (process column pck) ----------------------
     if (numeric) {
       if (me.pc == pck) {
+        const telemetry::ScopedSpan span(params.tel, me_rank,
+                                         telemetry::kPanelTournament, s);
         const Group cg = col_group(pck);
         for (int j = k0; j < k0 + kb; ++j) {
           const std::uint32_t js = static_cast<std::uint32_t>(j - k0);
@@ -188,6 +192,8 @@ void scalapack2d_body(Comm& comm, const Scalapack2DParams& params) {
       // Dry run: synthetic pivots spread over the remaining rows; the
       // per-column max-loc allreduces and pivot-row broadcasts are
       // aggregated into per-panel ghosts of identical total volume.
+      const telemetry::ScopedSpan span(params.tel, me_rank,
+                                       telemetry::kPanelTournament, s);
       for (int j = k0; j < k0 + kb; ++j)
         ipiv[static_cast<std::size_t>(j)] =
             j + static_cast<int>(swap_hash(params.seed, j) %
@@ -225,6 +231,8 @@ void scalapack2d_body(Comm& comm, const Scalapack2DParams& params) {
     // ---- Share the panel's pivot indices along process rows -------------
     // (part of pdgetrf's panel broadcast; pdlaswp needs ipiv everywhere).
     {
+      const telemetry::ScopedSpan span(params.tel, me_rank,
+                                       telemetry::kPivotApply, s);
       const Group rg = row_group(me.pr);
       if (numeric) {
         std::vector<int> piv_step(ipiv.begin() + k0, ipiv.begin() + k0 + kb);
@@ -239,6 +247,8 @@ void scalapack2d_body(Comm& comm, const Scalapack2DParams& params) {
 
     // ---- Batched row interchanges outside the panel (pdlaswp) ----------
     {
+      const telemetry::ScopedSpan span(params.tel, me_rank,
+                                       telemetry::kPivotApply, s);
       // Convert the kb sequential swaps into an explicit permutation
       // (pdlapiv semantics): occupant[pos] = original row whose data must
       // end up at position pos. Applying moves from original positions is
@@ -375,6 +385,8 @@ void scalapack2d_body(Comm& comm, const Scalapack2DParams& params) {
     const int m_loc = static_cast<int>(me.my_rows.size()) - mrow0;
     Matrix lpanel;  // m_loc x kb, rows ascending global
     {
+      const telemetry::ScopedSpan span(params.tel, me_rank,
+                                       telemetry::kSchurUpdate, s);
       const Group rg = row_group(me.pr);
       const Tag tag = make_tag(24, ts, 0);
       if (numeric) {
@@ -401,6 +413,8 @@ void scalapack2d_body(Comm& comm, const Scalapack2DParams& params) {
     const int ntrail = static_cast<int>(me.my_cols.size()) - ncol0;
     Matrix u01;  // kb x ntrail
     {
+      const telemetry::ScopedSpan span(params.tel, me_rank,
+                                       telemetry::kTrsm, s);
       const Group cg = col_group(me.pc);
       const Tag tag = make_tag(25, ts, 0);
       if (numeric) {
@@ -441,6 +455,8 @@ void scalapack2d_body(Comm& comm, const Scalapack2DParams& params) {
 
     // ---- Local trailing update -----------------------------------------
     if (numeric && ntrail > 0) {
+      const telemetry::ScopedSpan span(params.tel, me_rank,
+                                       telemetry::kSchurUpdate, s);
       const int urow0 = me.lrow_lower_bound(k0 + kb);
       const int mtrail = static_cast<int>(me.my_rows.size()) - urow0;
       if (mtrail > 0) {
@@ -479,6 +495,7 @@ LuResult ScaLapack2D::run(const linalg::Matrix* a, const LuConfig& cfg) {
   params.numeric = (cfg.mode == Mode::Numeric);
   params.seed = cfg.seed;
   params.a = a;
+  params.tel = cfg.telemetry;
 
   linalg::Matrix gathered;
   std::vector<int> ipiv;
@@ -492,6 +509,7 @@ LuResult ScaLapack2D::run(const linalg::Matrix* a, const LuConfig& cfg) {
 
   simnet::Network net(g.active());
   if (cfg.trace != nullptr) net.set_trace(cfg.trace);
+  if (cfg.telemetry != nullptr) net.set_telemetry(cfg.telemetry);
   Stopwatch timer;
   simnet::run_spmd(net,
                    [&](simnet::Comm& comm) { scalapack2d_body(comm, params); });

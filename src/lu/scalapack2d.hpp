@@ -13,6 +13,10 @@
 #include "lu/lu_common.hpp"
 #include "simnet/comm.hpp"
 
+namespace conflux::telemetry {
+class TelemetryBoard;
+}
+
 namespace conflux::lu {
 
 /// Shared SPMD body so the CANDMC proxy can replicate it per layer.
@@ -31,6 +35,7 @@ struct Scalapack2DParams {
   const linalg::Matrix* a = nullptr;  ///< input (numeric mode)
   linalg::Matrix* gathered = nullptr;
   std::vector<int>* ipiv_out = nullptr;
+  telemetry::TelemetryBoard* tel = nullptr;  ///< ConfScope spans (optional)
 };
 
 void scalapack2d_body(simnet::Comm& comm, const Scalapack2DParams& params);

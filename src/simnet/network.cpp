@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/assert.hpp"
+#include "support/telemetry.hpp"
 
 namespace conflux::simnet {
 
@@ -46,6 +47,8 @@ void Network::enqueue(Channel& ch, int src, Tag tag, Message msg) {
   {
     const std::lock_guard<std::mutex> lock(ch.mutex);
     ch.queues[{src, tag}].push_back(std::move(msg));
+    ++ch.queued;
+    ch.queued_hwm = std::max(ch.queued_hwm, ch.queued);
     wake = ch.waiting && ch.waiting_src == src && ch.waiting_tag == tag;
   }
   if (wake) ch.cv.notify_one();
@@ -56,10 +59,24 @@ void Network::set_trace(TraceRecorder* trace) {
   if (trace_ != nullptr) trace_->reset(nranks_);
 }
 
+void Network::set_telemetry(telemetry::TelemetryBoard* board) {
+  telemetry_ = board;
+  if (telemetry_ == nullptr) return;
+  telemetry_->reset(nranks_);
+  // Queue high-water marks restart with the board so a reused Network
+  // reports this run, not the union of all runs.
+  for (Channel& ch : channels_) {
+    const std::lock_guard<std::mutex> lock(ch.mutex);
+    ch.queued_hwm = ch.queued;
+  }
+}
+
 void Network::deliver(int src, int dst, Tag tag, Message msg) {
   CONFLUX_EXPECTS_CTX(src >= 0 && src < size() && dst >= 0 && dst < size(),
                       (CommContext{.src = src, .dst = dst}.with_tag(tag)));
   stats_.record_send(src, dst, msg.logical_bytes);
+  if (telemetry_ != nullptr && src != dst)
+    telemetry_->add_bytes(src, msg.logical_bytes);
   if (trace_ != nullptr) {
     trace_->record_send(src, dst, tag, msg.logical_bytes);
     if (msg.shared) {
@@ -83,6 +100,8 @@ void Network::multicast(int src, std::span<const int> dsts, Tag tag,
     CONFLUX_EXPECTS_CTX(dst >= 0 && dst < size(),
                         (CommContext{.src = src, .dst = dst}.with_tag(tag)));
     stats_.record_send(src, dst, logical_bytes);
+    if (telemetry_ != nullptr && src != dst)
+      telemetry_->add_bytes(src, logical_bytes);
     if (trace_ != nullptr)
       trace_->record_send(src, dst, tag, logical_bytes, /*multicast=*/true);
     enqueue(channel(dst, src), src, tag,
@@ -96,6 +115,11 @@ Message Network::receive(int me, int src, Tag tag) {
                            .with_tag(tag)));
   Channel& ch = channel(me, src);
   const auto key = std::make_pair(src, tag);
+  // Wait-time attribution (ConfScope): stamped lazily, only after the
+  // first probe misses — a receive whose message already arrived records a
+  // zero-length wait without touching the clock at all, so the attached
+  // fast path stays within a few percent of the disabled one.
+  std::uint64_t wait_begin = 0;
 
   auto try_pop = [&](Message& out) {
     const auto it = ch.queues.find(key);
@@ -103,13 +127,20 @@ Message Network::receive(int me, int src, Tag tag) {
     out = std::move(it->second.front());
     it->second.pop_front();
     if (it->second.empty()) ch.queues.erase(it);
+    --ch.queued;
     return true;
   };
 
-  // Runs on the receiver's thread once a message has been matched: logs the
+  // Runs on the receiver's thread once a message has been matched: counts
+  // the receive, attributes the time parked here to (src, tag), logs the
   // Recv event in program order and re-checks the shared-payload
   // fingerprint stamped at deliver time (in-flight mutation lint).
   auto finish = [&](Message&& m) -> Message {
+    stats_.record_recv(me, src);
+    if (telemetry_ != nullptr)
+      telemetry_->record_wait(
+          me, src, tag, wait_begin,
+          wait_begin != 0 ? telemetry::now_ns() : 0, m.logical_bytes);
     if (trace_ != nullptr) {
       trace_->record_recv(me, src, tag, m.logical_bytes);
       if (m.shared && m.fingerprint != 0) {
@@ -127,6 +158,13 @@ Message Network::receive(int me, int src, Tag tag) {
   };
 
   Message msg;
+  // Clock-free first probe: the common already-delivered case.
+  {
+    std::unique_lock<std::mutex> lock(ch.mutex, std::try_to_lock);
+    if (lock.owns_lock() && try_pop(msg)) return finish(std::move(msg));
+  }
+  if (telemetry_ != nullptr) wait_begin = telemetry::now_ns();
+
   // Short spin: cheap when a matching send is already in flight on another
   // core; skipped entirely (spin_iters_ == 0) when ranks outnumber cores.
   for (int i = 0; i < spin_iters_; ++i) {
@@ -219,6 +257,7 @@ void Network::run_team(const std::function<void(int)>& job) {
     for (auto& ch : channels_) {
       const std::lock_guard<std::mutex> lock(ch.mutex);
       ch.queues.clear();
+      ch.queued = 0;
       ch.waiting = false;
     }
     aborted_.store(false, std::memory_order_release);
@@ -239,6 +278,21 @@ void Network::run_team(const std::function<void(int)>& job) {
     team_job_ = nullptr;
     error = std::move(team_error_);
     team_error_ = nullptr;
+  }
+  // Flush per-rank inbound queue-depth high-water marks into the telemetry
+  // board. The join above synchronizes, so the channel reads see every
+  // worker's final values.
+  if (telemetry_ != nullptr) {
+    for (int dst = 0; dst < nranks_; ++dst) {
+      int hwm = 0;
+      for (std::size_t s = 0; s < slots_per_rank_; ++s) {
+        Channel& ch = channels_[static_cast<std::size_t>(dst) *
+                                    slots_per_rank_ + s];
+        const std::lock_guard<std::mutex> lock(ch.mutex);
+        hwm = std::max(hwm, ch.queued_hwm);
+      }
+      telemetry_->set_queue_hwm(dst, hwm);
+    }
   }
   if (error) std::rethrow_exception(error);
 }

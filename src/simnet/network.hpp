@@ -22,6 +22,10 @@
 #include "simnet/stats.hpp"
 #include "simnet/trace.hpp"
 
+namespace conflux::telemetry {
+class TelemetryBoard;
+}
+
 namespace conflux::simnet {
 
 /// Thrown out of blocked receives when another rank aborted the job
@@ -90,6 +94,17 @@ class Network {
   void set_trace(TraceRecorder* trace);
   [[nodiscard]] TraceRecorder* trace() const { return trace_; }
 
+  /// Attach a ConfScope telemetry board (see support/telemetry.hpp): every
+  /// deliver attributes wire bytes to the sender's open span, every receive
+  /// records a (src, tag) wait sample, and per-rank channel queue-depth
+  /// high-water marks are flushed into the board after each run_team join.
+  /// The board is reset to this network's rank count. Pass nullptr to
+  /// detach. Must not be called while a job is running.
+  void set_telemetry(telemetry::TelemetryBoard* board);
+  [[nodiscard]] telemetry::TelemetryBoard* telemetry() const {
+    return telemetry_;
+  }
+
  private:
   /// One (destination, source-slot) channel. Queues are keyed by
   /// (source, tag) so slot sharing at very large rank counts stays correct.
@@ -102,6 +117,11 @@ class Network {
     int waiting_src = -1;
     Tag waiting_tag = 0;
     bool waiting = false;
+    // Queue-depth accounting for ConfScope: messages currently enqueued
+    // across this slot's queues, and the high-water mark. Guarded by
+    // `mutex`.
+    int queued = 0;
+    int queued_hwm = 0;
   };
 
   [[nodiscard]] Channel& channel(int dst, int src) {
@@ -115,6 +135,7 @@ class Network {
   std::vector<Channel> channels_;
   StatsBoard stats_;
   TraceRecorder* trace_ = nullptr;
+  telemetry::TelemetryBoard* telemetry_ = nullptr;
   std::atomic<bool> aborted_{false};
   int spin_iters_ = 0;  ///< 0 on oversubscribed hosts
 

@@ -16,19 +16,26 @@ struct CommVolume {
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
   std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
 
   CommVolume& operator+=(const CommVolume& other) {
     bytes_sent += other.bytes_sent;
     bytes_received += other.bytes_received;
     messages_sent += other.messages_sent;
+    messages_received += other.messages_received;
     return *this;
   }
 };
 
 /// Lock-free per-rank counters. Each sender updates its own `sent` slot and
-/// the destination's `received` slot; the receive side may be hit by several
-/// sender threads concurrently, hence the atomics (relaxed: counters are
-/// read only after the SPMD join, which synchronizes).
+/// the destination's `received` byte slot; the receiver's own thread counts
+/// `messages_received` at dequeue time. The receive side may be hit by
+/// several sender threads concurrently, hence the atomics (relaxed:
+/// counters are read only after the SPMD join, which synchronizes).
+///
+/// After a complete run every enqueued message has been dequeued, so
+/// total().messages_sent == total().messages_received — the parity the
+/// fabric tests assert.
 class StatsBoard {
  public:
   explicit StatsBoard(int nranks) : slots_(static_cast<std::size_t>(nranks)) {}
@@ -42,11 +49,20 @@ class StatsBoard {
         bytes, std::memory_order_relaxed);
   }
 
+  /// Called by the receiver once a message is matched and dequeued (the
+  /// same self-delivery exemption as record_send keeps the parity exact).
+  void record_recv(int dst, int src) {
+    if (src == dst) return;
+    slots_[static_cast<std::size_t>(dst)].messages_received.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
   [[nodiscard]] CommVolume rank_volume(int rank) const {
     const auto& s = slots_[static_cast<std::size_t>(rank)];
     return {s.bytes_sent.load(std::memory_order_relaxed),
             s.bytes_received.load(std::memory_order_relaxed),
-            s.messages_sent.load(std::memory_order_relaxed)};
+            s.messages_sent.load(std::memory_order_relaxed),
+            s.messages_received.load(std::memory_order_relaxed)};
   }
 
   /// Total volume over all ranks (sum of bytes sent — the paper's metric).
@@ -73,6 +89,7 @@ class StatsBoard {
       s.bytes_sent.store(0, std::memory_order_relaxed);
       s.bytes_received.store(0, std::memory_order_relaxed);
       s.messages_sent.store(0, std::memory_order_relaxed);
+      s.messages_received.store(0, std::memory_order_relaxed);
     }
   }
 
@@ -81,6 +98,7 @@ class StatsBoard {
     std::atomic<std::uint64_t> bytes_sent{0};
     std::atomic<std::uint64_t> bytes_received{0};
     std::atomic<std::uint64_t> messages_sent{0};
+    std::atomic<std::uint64_t> messages_received{0};
   };
   std::vector<Slot> slots_;
 };

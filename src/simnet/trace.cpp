@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "support/assert.hpp"
+#include "support/telemetry.hpp"
 
 namespace conflux::simnet {
 
@@ -11,6 +12,7 @@ void TraceRecorder::reset(int nranks) {
   CONFLUX_EXPECTS(nranks >= 0);
   slots_.clear();
   slots_.resize(static_cast<std::size_t>(nranks));
+  epoch_ = telemetry::now_ns();
 }
 
 std::size_t TraceRecorder::size() const {
@@ -29,7 +31,8 @@ void TraceRecorder::record_send(int src, int dst, Tag tag, std::uint64_t bytes,
   CONFLUX_EXPECTS_CTX(src >= 0 && src < nranks() && dst >= 0,
                       (CommContext{.src = src, .dst = dst}.with_tag(tag)));
   slots_[static_cast<std::size_t>(src)].events.push_back(
-      {EventKind::Send, dst, tag, bytes, multicast});
+      {EventKind::Send, dst, tag, bytes, multicast,
+       telemetry::now_ns() - epoch_});
 }
 
 void TraceRecorder::record_recv(int dst, int src, Tag tag,
@@ -37,7 +40,8 @@ void TraceRecorder::record_recv(int dst, int src, Tag tag,
   CONFLUX_EXPECTS_CTX(dst >= 0 && dst < nranks() && src >= 0,
                       (CommContext{.src = src, .dst = dst}.with_tag(tag)));
   slots_[static_cast<std::size_t>(dst)].events.push_back(
-      {EventKind::Recv, src, tag, bytes, false});
+      {EventKind::Recv, src, tag, bytes, false,
+       telemetry::now_ns() - epoch_});
 }
 
 // --- buffer-ownership debug hooks ------------------------------------------

@@ -33,6 +33,8 @@ struct TraceEvent {
   Tag tag = 0;
   std::uint64_t bytes = 0;  ///< logical wire bytes of the message
   bool multicast = false;   ///< Send only: part of a multicast fan-out
+  std::uint64_t t_ns = 0;   ///< completion time, steady-clock ns since the
+                            ///< recorder's reset() epoch
 };
 
 /// Per-rank event log. Attach to a Network with Network::set_trace before
@@ -62,12 +64,17 @@ class TraceRecorder {
   /// once the message has been matched and dequeued).
   void record_recv(int dst, int src, Tag tag, std::uint64_t bytes);
 
+  /// Absolute steady-clock ns of the epoch events are stamped against
+  /// (captured in reset()).
+  [[nodiscard]] std::uint64_t epoch_ns() const { return epoch_; }
+
  private:
   /// Cache-line-padded so concurrent ranks never share a line.
   struct alignas(64) Slot {
     std::vector<TraceEvent> events;
   };
   std::vector<Slot> slots_;
+  std::uint64_t epoch_ = 0;
 };
 
 /// --- buffer-ownership debug hooks ----------------------------------------

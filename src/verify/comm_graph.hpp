@@ -31,6 +31,7 @@ struct CommNode {
   std::uint64_t bytes = 0;
   bool multicast = false;
   int match = -1;  ///< global index of the matched counterpart; -1 unmatched
+  std::uint64_t t_ns = 0;  ///< completion time (ns since recorder epoch)
 };
 
 /// The IR. Nodes are stored grouped by rank, ascending seq, so a rank's

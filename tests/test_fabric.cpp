@@ -243,6 +243,34 @@ TEST(RankTeam, RecoversAfterAbortedRun) {
   EXPECT_EQ(clean.load(), 1);
 }
 
+TEST(Fabric, EveryDeliveredMessageIsReceived) {
+  // Send/receive parity: after a drained run, the messages_received counter
+  // must equal messages_sent — p2p sends, ghosts and multicasts alike
+  // (multicasts count per remote destination on both sides; self-deliveries
+  // on neither).
+  const int p = 6;
+  Network net(p);
+  run_spmd(net, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> dsts = {0, 1, 2, 3, 4, 5};  // includes free self-copy
+      comm.multicast(dsts, 1, make_shared_buffer(std::vector<double>(8)));
+      (void)comm.recv_view(0, 1);
+      comm.send_ghost(1, 2, 64);
+    } else {
+      (void)comm.recv_view(0, 1);
+      if (comm.rank() == 1) {
+        (void)comm.recv_ghost(0, 2);
+        comm.send(2, 3, std::vector<double>{1.0});
+      }
+      if (comm.rank() == 2) (void)comm.recv_view(1, 3);
+    }
+  });
+  const CommVolume total = net.stats().total();
+  EXPECT_EQ(total.messages_sent, 5u + 1 + 1);  // 5 remote mcast + ghost + p2p
+  EXPECT_EQ(total.messages_received, total.messages_sent);
+  EXPECT_EQ(total.bytes_received, total.bytes_sent);
+}
+
 TEST(Fabric, ManyToOneContention) {
   // All ranks hammer one receiver's channels concurrently; counts and
   // per-source FIFO must survive.

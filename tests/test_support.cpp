@@ -190,5 +190,36 @@ TEST(Stopwatch, MeasuresForwardTime) {
   EXPECT_GE(w.millis(), w.seconds() * 1000 - 1e-6);
 }
 
+TEST(Stopwatch, PauseExcludesTimeFromAccumulated) {
+  Stopwatch w;
+  volatile double sink = 0;
+  for (int i = 0; i < 10000; ++i) sink = sink + i;
+  w.pause();
+  EXPECT_TRUE(w.paused());
+  const double at_pause = w.accumulated_seconds();
+  EXPECT_GT(at_pause, 0.0);
+  for (int i = 0; i < 200000; ++i) sink = sink + i;
+  // Paused: accumulated time is frozen while wall time keeps advancing.
+  EXPECT_EQ(w.accumulated_seconds(), at_pause);
+  EXPECT_GE(w.seconds(), at_pause);
+  w.resume();
+  EXPECT_FALSE(w.paused());
+  for (int i = 0; i < 10000; ++i) sink = sink + i;
+  // The new interval adds on top of the frozen total; the paused window
+  // itself never lands in the accumulated clock.
+  const double after = w.accumulated_seconds();
+  EXPECT_GE(after, at_pause);
+}
+
+TEST(Stopwatch, PauseAndResumeAreIdempotent) {
+  Stopwatch w;
+  w.pause();
+  w.pause();  // second pause is a no-op
+  const double frozen = w.accumulated_seconds();
+  w.resume();
+  w.resume();  // second resume is a no-op
+  EXPECT_GE(w.accumulated_seconds(), frozen);
+}
+
 }  // namespace
 }  // namespace conflux

@@ -1,0 +1,480 @@
+/// confscope — the ConfScope profiler CLI.
+///
+/// Dry-runs (or, with --numeric, fully executes) registered factorization
+/// backends with a TelemetryBoard and a TraceRecorder attached, then
+/// reports the model-vs-measured profile:
+///
+///   - per-phase table: exclusive time, blocked-in-recv time, and wire
+///     bytes per span name, next to the per-phase volume model's
+///     prediction (models/phase_model.hpp) where one exists;
+///   - critical path: makespan, path length, end rank, and per-rank slack
+///     extracted from the timed CommGraph (verify/critical_path.hpp);
+///   - totals: wall time, busy/blocked split, queue high-water marks, and
+///     the whole-run volume next to the Table 2 cost model.
+///
+/// Usage:
+///   confscope --algo=COnfLUX,CALU --n=256 --p=8    profile two backends
+///   confscope --all --n=128 --p=8                  profile every backend
+///   confscope ... --trace=trace.json               merged Chrome/Perfetto
+///                                                  trace (one pid/backend)
+///   confscope ... --json=profile.json              machine-readable report
+///   confscope ... --check-volume [--band=1.1]      gate measured per-phase
+///                                                  volume against the model
+///
+/// Exit status: 0 clean, 1 when --check-volume finds a phase outside the
+/// band (or a run fails), 2 on usage errors.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cholesky/cholesky_common.hpp"
+#include "linalg/generate.hpp"
+#include "lu/lu_common.hpp"
+#include "models/cost_model.hpp"
+#include "models/phase_model.hpp"
+#include "simnet/trace.hpp"
+#include "support/json_writer.hpp"
+#include "support/table.hpp"
+#include "support/telemetry.hpp"
+#include "verify/comm_graph.hpp"
+#include "verify/commcheck.hpp"
+#include "verify/critical_path.hpp"
+
+namespace {
+
+using conflux::verify::Backend;
+
+struct Options {
+  std::vector<std::string> algos;  ///< empty + !all -> usage error
+  std::string family;              ///< restrict --all to one family
+  bool all = false;
+  bool list = false;
+  bool numeric = false;
+  bool check_volume = false;
+  double band = 1.1;
+  int n = 256;
+  int p = 8;
+  int layers = 0;
+  int block = 0;
+  std::string trace_path;
+  std::string json_path;
+};
+
+/// One backend's collected profile. The board is heap-held so the Chrome
+/// trace writer can stream every backend after all runs finish.
+struct Profile {
+  Backend backend;
+  conflux::factor::FactorResult run;
+  std::unique_ptr<conflux::telemetry::TelemetryBoard> board;
+  std::map<std::string, conflux::telemetry::PhaseTotal> phases;
+  conflux::verify::CriticalPath path;
+  std::vector<conflux::models::PhaseVolume> model;  ///< empty if no model
+  double model_total_bytes = 0;                     ///< 0 if no total model
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: confscope [--algo=NAME[,NAME...]] [--all] "
+        "[--family=LU|Cholesky]\n"
+        "                 [--n=N] [--p=P] [--layers=C] [--block=V] "
+        "[--numeric]\n"
+        "                 [--trace=FILE] [--json=FILE] [--check-volume]\n"
+        "                 [--band=X] [--list] [--help]\n"
+        "\n"
+        "Profiles factorization backends on the simulated fabric: per-phase\n"
+        "span times and wire bytes vs the per-phase volume model, fabric\n"
+        "wait metrics, and the critical path of the timed schedule.\n"
+        "\n"
+        "  --algo=LIST    backend names to profile (see --list)\n"
+        "  --all          profile every registered backend\n"
+        "  --family=F     with --all: restrict to LU or Cholesky\n"
+        "  --n=N          matrix dimension (default 256)\n"
+        "  --p=P          rank count (default 8)\n"
+        "  --layers=C     force the 2.5D replication depth (0 = auto)\n"
+        "  --block=V      force the block size (0 = auto)\n"
+        "  --numeric      numeric run instead of the default dry run\n"
+        "  --trace=FILE   write a merged Chrome-trace/Perfetto JSON file\n"
+        "                 (one process per backend, one thread per rank)\n"
+        "  --json=FILE    write the machine-readable profile report\n"
+        "  --check-volume fail (exit 1) when a measured phase volume falls\n"
+        "                 outside the model band (backends with a model)\n"
+        "  --band=X       model band for --check-volume (default 1.1)\n"
+        "  --list         print the registered (family, backend) table\n"
+        "  --help         this text\n";
+}
+
+std::vector<std::string> parse_name_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+/// Total-volume model for one backend name, or null when none applies.
+std::unique_ptr<conflux::models::CostModel> total_model_for(
+    const Backend& b) {
+  using namespace conflux::models;
+  if (b.family == "LU") {
+    if (b.name == "CALU") return std::make_unique<CaluModel>();
+    for (auto& m : standard_models())
+      if (m->name() == b.name) return std::move(m);
+    return nullptr;
+  }
+  for (auto& m : cholesky_models())
+    if (m->name() == b.name) return std::move(m);
+  return nullptr;
+}
+
+/// Run one backend with telemetry + trace attached and collect its profile.
+Profile profile_backend(const Backend& backend, const Options& opt) {
+  Profile out;
+  out.backend = backend;
+  out.board = std::make_unique<conflux::telemetry::TelemetryBoard>();
+
+  conflux::simnet::TraceRecorder trace;
+  conflux::factor::FactorConfig base;
+  base.n = opt.n;
+  base.p = opt.p;
+  base.block = opt.block;
+  base.force_layers = opt.layers;
+  base.mode = opt.numeric ? conflux::factor::Mode::Numeric
+                          : conflux::factor::Mode::DryRun;
+  base.verify = opt.numeric;
+  base.trace = &trace;
+  base.telemetry = out.board.get();
+
+  if (backend.family == "LU") {
+    conflux::lu::LuConfig cfg;
+    static_cast<conflux::factor::FactorConfig&>(cfg) = base;
+    conflux::linalg::Matrix a;
+    if (opt.numeric)
+      a = conflux::linalg::generate(opt.n,
+                                    conflux::linalg::MatrixKind::DiagDominant);
+    out.run = conflux::lu::make_algorithm(backend.name)
+                  ->run(opt.numeric ? &a : nullptr, cfg);
+  } else {
+    conflux::cholesky::CholConfig cfg;
+    static_cast<conflux::factor::FactorConfig&>(cfg) = base;
+    conflux::linalg::Matrix a;
+    if (opt.numeric)
+      a = conflux::linalg::generate(opt.n, conflux::linalg::MatrixKind::Spd);
+    out.run = conflux::cholesky::make_cholesky_algorithm(backend.name)
+                  ->run(opt.numeric ? &a : nullptr, cfg);
+  }
+
+  out.phases = out.board->phase_totals();
+  const conflux::verify::CommGraph graph =
+      conflux::verify::CommGraph::build(trace);
+  out.path = conflux::verify::extract_critical_path(graph, *out.board);
+
+  // The per-phase model replays the auto-tuned schedule; a forced grid or
+  // block size walks a different schedule, so the comparison is skipped.
+  if (backend.family == "LU" && opt.layers == 0 && opt.block == 0 &&
+      conflux::models::has_phase_model(backend.name))
+    out.model = conflux::models::predict_lu_phases(backend.name, opt.n, opt.p);
+
+  if (const auto total = total_model_for(backend))
+    out.model_total_bytes = total->total_bytes(
+        conflux::models::max_replication_instance(opt.n, opt.p));
+  return out;
+}
+
+double model_bytes_for_phase(const Profile& prof, const std::string& phase,
+                             bool* found) {
+  for (const conflux::models::PhaseVolume& pv : prof.model)
+    if (pv.phase == phase) {
+      *found = true;
+      return pv.bytes;
+    }
+  *found = false;
+  return 0;
+}
+
+/// Measured/model ratio gate: both sides must be nonzero and within `band`
+/// of each other; phases with zero on both sides (trsm) pass trivially.
+bool phase_in_band(double measured, double model, double band) {
+  if (measured == 0 && model == 0) return true;
+  if (measured == 0 || model == 0) return false;
+  const double ratio = measured > model ? measured / model : model / measured;
+  return ratio <= band;
+}
+
+void print_profile(const Profile& prof, const Options& opt, bool* volume_ok) {
+  using conflux::Table;
+  using conflux::fmt;
+  using conflux::human_bytes;
+  const conflux::telemetry::TelemetryBoard& board = *prof.board;
+
+  std::cout << "== " << prof.backend.family << '/' << prof.backend.name
+            << "  n=" << opt.n << " p=" << opt.p << " grid=" << prof.run.grid
+            << " v=" << prof.run.block
+            << (opt.numeric ? " (numeric)" : " (dry run)") << "\n";
+
+  Table table({"phase", "seconds", "wait_s", "bytes", "model", "dev"});
+  // Engine step order; phase_totals() is alphabetical, which buries the
+  // pipeline structure the table is meant to show.
+  static const char* kOrder[] = {
+      conflux::telemetry::kLayerReduction, conflux::telemetry::kPanelTournament,
+      conflux::telemetry::kPanelFactor,    conflux::telemetry::kPivotApply,
+      conflux::telemetry::kTrsm,           conflux::telemetry::kSchurUpdate};
+  std::vector<std::string> order;
+  for (const char* name : kOrder)
+    if (prof.phases.count(name) != 0) order.emplace_back(name);
+  for (const auto& [name, total] : prof.phases) {
+    (void)total;
+    bool known = false;
+    for (const std::string& o : order) known = known || o == name;
+    if (!known) order.push_back(name);
+  }
+
+  for (const std::string& name : order) {
+    const conflux::telemetry::PhaseTotal& t = prof.phases.at(name);
+    bool has_model = false;
+    const double model = model_bytes_for_phase(prof, name, &has_model);
+    std::string model_cell = "-";
+    std::string dev_cell = "-";
+    if (has_model) {
+      model_cell = human_bytes(model);
+      if (model > 0)
+        dev_cell =
+            fmt(100.0 * (static_cast<double>(t.bytes) - model) / model, 1) +
+            "%";
+      else if (t.bytes == 0)
+        dev_cell = "0%";
+      if (opt.check_volume &&
+          !phase_in_band(static_cast<double>(t.bytes), model, opt.band)) {
+        *volume_ok = false;
+        dev_cell += " OUT-OF-BAND";
+      }
+    }
+    table.add_row({name, fmt(t.seconds, 4), fmt(t.wait_seconds, 4),
+                   human_bytes(static_cast<double>(t.bytes)), model_cell,
+                   dev_cell});
+  }
+  table.print(std::cout, 2);
+
+  // Fabric totals: busy/blocked split and the worst inbound queue depth.
+  double busy = 0, blocked = 0;
+  int hwm = 0;
+  for (int r = 0; r < board.nranks(); ++r) {
+    busy += board.busy_seconds(r);
+    blocked += board.blocked_seconds(r);
+    hwm = std::max(hwm, board.queue_hwm(r));
+  }
+  std::cout << "  wall " << fmt(board.wall_seconds(), 4) << " s, busy "
+            << fmt(busy, 4) << " s, blocked " << fmt(blocked, 4)
+            << " s (summed over " << board.nranks()
+            << " ranks), queue hwm " << hwm << "\n";
+
+  // Critical path + slack.
+  double max_slack = 0;
+  for (const double s : prof.path.slack_seconds) max_slack = std::max(max_slack, s);
+  std::cout << "  critical path " << fmt(prof.path.seconds, 4) << " s over "
+            << prof.path.nodes.size() << " events, ends on rank "
+            << prof.path.end_rank << ", max rank slack "
+            << fmt(max_slack, 4) << " s\n";
+
+  std::cout << "  volume " << human_bytes(prof.run.total_bytes()) << " ("
+            << prof.run.total.messages_sent << " messages";
+  if (prof.model_total_bytes > 0)
+    std::cout << "; model " << human_bytes(prof.model_total_bytes) << ", "
+              << fmt(100.0 *
+                         (prof.run.total_bytes() - prof.model_total_bytes) /
+                         prof.model_total_bytes,
+                     1)
+              << "%";
+  std::cout << ")\n\n";
+}
+
+void write_json(std::ostream& os, const std::vector<Profile>& profiles,
+                const Options& opt) {
+  conflux::support::JsonWriter w(os);
+  w.begin_object();
+  w.kv("tool", "confscope");
+  w.kv("n", opt.n);
+  w.kv("p", opt.p);
+  w.kv("mode", opt.numeric ? "numeric" : "dry");
+  w.key("backends");
+  w.begin_array();
+  for (const Profile& prof : profiles) {
+    const conflux::telemetry::TelemetryBoard& board = *prof.board;
+    w.begin_object();
+    w.kv("family", prof.backend.family);
+    w.kv("name", prof.backend.name);
+    w.kv("grid", prof.run.grid);
+    w.kv("block", prof.run.block);
+    w.kv("seconds", prof.run.seconds);
+    w.kv("wall_seconds", board.wall_seconds());
+    w.kv("total_bytes", prof.run.total.bytes_sent);
+    w.kv("messages_sent", prof.run.total.messages_sent);
+    w.kv("messages_received", prof.run.total.messages_received);
+    if (prof.model_total_bytes > 0)
+      w.kv("model_total_bytes", prof.model_total_bytes);
+    w.kv("critical_path_seconds", prof.path.seconds);
+    w.kv("critical_path_events",
+         static_cast<std::uint64_t>(prof.path.nodes.size()));
+    w.kv("critical_path_end_rank", prof.path.end_rank);
+    w.key("phases");
+    w.begin_array();
+    for (const auto& [name, t] : prof.phases) {
+      w.begin_object();
+      w.kv("phase", name);
+      w.kv("seconds", t.seconds);
+      w.kv("wait_seconds", t.wait_seconds);
+      w.kv("bytes", t.bytes);
+      w.kv("count", t.count);
+      bool has_model = false;
+      const double model = model_bytes_for_phase(prof, name, &has_model);
+      if (has_model) w.kv("model_bytes", model);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("ranks");
+    w.begin_array();
+    for (int r = 0; r < board.nranks(); ++r) {
+      w.begin_object();
+      w.kv("rank", r);
+      w.kv("busy_seconds", board.busy_seconds(r));
+      w.kv("blocked_seconds", board.blocked_seconds(r));
+      if (r < static_cast<int>(prof.path.slack_seconds.size()))
+        w.kv("slack_seconds",
+             prof.path.slack_seconds[static_cast<std::size_t>(r)]);
+      w.kv("queue_hwm", board.queue_hwm(r));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--all")
+        opt.all = true;
+      else if (arg == "--list")
+        opt.list = true;
+      else if (arg == "--numeric")
+        opt.numeric = true;
+      else if (arg == "--check-volume")
+        opt.check_volume = true;
+      else if (arg == "--help" || arg == "-h") {
+        print_usage(std::cout);
+        return 0;
+      } else if (arg.rfind("--algo=", 0) == 0)
+        opt.algos = parse_name_list(arg.substr(7));
+      else if (arg.rfind("--family=", 0) == 0)
+        opt.family = arg.substr(9);
+      else if (arg.rfind("--n=", 0) == 0)
+        opt.n = std::stoi(arg.substr(4));
+      else if (arg.rfind("--p=", 0) == 0)
+        opt.p = std::stoi(arg.substr(4));
+      else if (arg.rfind("--layers=", 0) == 0)
+        opt.layers = std::stoi(arg.substr(9));
+      else if (arg.rfind("--block=", 0) == 0)
+        opt.block = std::stoi(arg.substr(8));
+      else if (arg.rfind("--band=", 0) == 0)
+        opt.band = std::stod(arg.substr(7));
+      else if (arg.rfind("--trace=", 0) == 0)
+        opt.trace_path = arg.substr(8);
+      else if (arg.rfind("--json=", 0) == 0)
+        opt.json_path = arg.substr(7);
+      else {
+        std::cerr << "confscope: unknown option '" << arg << "'\n";
+        print_usage(std::cerr);
+        return 2;
+      }
+    } catch (const std::exception&) {
+      std::cerr << "confscope: bad value in '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  if (opt.list) {
+    for (const Backend& b : conflux::verify::registered_backends())
+      std::cout << b.family << '/' << b.name << "\n";
+    return 0;
+  }
+
+  // Resolve the selection against the registry so typos fail loudly.
+  std::vector<Backend> selected;
+  for (const Backend& b : conflux::verify::registered_backends()) {
+    if (!opt.family.empty() && b.family != opt.family) continue;
+    if (!opt.all) {
+      bool wanted = false;
+      for (const std::string& name : opt.algos) wanted = wanted || name == b.name;
+      if (!wanted) continue;
+    }
+    selected.push_back(b);
+  }
+  if (selected.empty()) {
+    if (opt.algos.empty() && !opt.all) {
+      std::cerr << "confscope: nothing selected (use --algo=... or --all)\n";
+      print_usage(std::cerr);
+    } else {
+      std::cerr << "confscope: no registered backend matches the selection "
+                   "(try --list)\n";
+    }
+    return 2;
+  }
+
+  bool volume_ok = true;
+  std::vector<Profile> profiles;
+  try {
+    for (const Backend& b : selected)
+      profiles.push_back(profile_backend(b, opt));
+    for (const Profile& prof : profiles)
+      print_profile(prof, opt, &volume_ok);
+  } catch (const std::exception& e) {
+    std::cerr << "confscope: " << e.what() << "\n";
+    return 1;
+  }
+
+  if (!opt.trace_path.empty()) {
+    std::ofstream os(opt.trace_path);
+    if (!os) {
+      std::cerr << "confscope: cannot write '" << opt.trace_path << "'\n";
+      return 1;
+    }
+    conflux::telemetry::ChromeTraceWriter writer(os);
+    int pid = 0;
+    for (const Profile& prof : profiles)
+      writer.add_process(pid++, prof.backend.family + "/" + prof.backend.name,
+                         *prof.board);
+    writer.finish();
+    std::cout << "wrote Chrome trace to " << opt.trace_path << "\n";
+  }
+
+  if (!opt.json_path.empty()) {
+    std::ofstream os(opt.json_path);
+    if (!os) {
+      std::cerr << "confscope: cannot write '" << opt.json_path << "'\n";
+      return 1;
+    }
+    write_json(os, profiles, opt);
+    std::cout << "wrote profile JSON to " << opt.json_path << "\n";
+  }
+
+  if (opt.check_volume && !volume_ok) {
+    std::cerr << "confscope: measured per-phase volume outside the "
+              << opt.band << "x model band\n";
+    return 1;
+  }
+  return 0;
+}

@@ -14,6 +14,8 @@
 
 #include "lu/lu_common.hpp"
 #include "models/cost_model.hpp"
+#include "models/machines.hpp"
+#include "models/phase_model.hpp"
 #include "models/predictions.hpp"
 #include "support/env.hpp"
 #include "support/json_writer.hpp"
@@ -35,12 +37,38 @@ inline lu::LuResult run_dry(const std::string& algo, int n, int p,
   return lu::make_algorithm(algo)->run(nullptr, cfg);
 }
 
+/// Run one dry-run configuration on the virtual-time fabric: cooperative
+/// fibers instead of one thread per rank (so P = 512-4096 fits on a
+/// laptop-class host) and a LogGP clock parameterized by `machine`'s
+/// alpha/beta/gamma. The result's predicted_seconds carries the modeled
+/// wall clock.
+inline lu::LuResult run_dry_virtual(const std::string& algo, int n, int p,
+                                    const models::Machine& machine,
+                                    telemetry::TelemetryBoard* tel = nullptr) {
+  lu::LuConfig cfg;
+  cfg.n = n;
+  cfg.p = p;
+  cfg.mode = lu::Mode::DryRun;
+  cfg.telemetry = tel;
+  cfg.fabric.mode = simnet::ExecMode::VirtualTime;
+  cfg.fabric.link.alpha_s = machine.alpha_s;
+  cfg.fabric.link.beta_s_per_byte = machine.beta_s_per_byte;
+  cfg.fabric.link.gamma_s_per_flop = machine.gamma_s_per_flop;
+  return lu::make_algorithm(algo)->run(nullptr, cfg);
+}
+
 /// Common bench CLI flags, shared by every bench that produces artifacts:
-/// `--json[=path]` (machine-readable summary) and `--trace=path` (merged
-/// Chrome-trace/Perfetto profile of the measured runs).
+/// `--json[=path]` (machine-readable summary), `--trace=path` (merged
+/// Chrome-trace/Perfetto profile of the measured runs), `--virtual`
+/// (virtual-time sweep at large P with predicted wall clocks),
+/// `--machine=NAME` (LogGP preset for --virtual; see models/machines.hpp)
+/// and `-p P[,P...]` (override the --virtual rank sweep).
 struct BenchArgs {
   std::string json_path;   ///< empty = no JSON summary
   std::string trace_path;  ///< empty = no Chrome trace
+  bool virtual_mode = false;      ///< --virtual: LogGP fiber sweep
+  std::string machine = "Piz Daint";  ///< --machine= preset name
+  std::vector<int> ps;     ///< -p override for the --virtual sweep
 };
 
 inline BenchArgs parse_bench_args(int argc, char** argv,
@@ -54,6 +82,19 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
       args.json_path = arg.substr(7);
     else if (arg.rfind("--trace=", 0) == 0)
       args.trace_path = arg.substr(8);
+    else if (arg == "--virtual")
+      args.virtual_mode = true;
+    else if (arg.rfind("--machine=", 0) == 0)
+      args.machine = arg.substr(10);
+    else if (arg == "-p" && i + 1 < argc) {
+      std::string list = argv[++i];
+      for (std::size_t pos = 0; pos < list.size();) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        args.ps.push_back(std::stoi(list.substr(pos, comma - pos)));
+        pos = comma + 1;
+      }
+    }
   }
   return args;
 }
@@ -68,6 +109,7 @@ struct BenchPoint {
   double total_bytes = 0;
   std::uint64_t messages = 0;
   std::string grid;
+  double predicted_seconds = 0;  ///< virtual-time runs: modeled wall clock
 };
 
 /// Write the shared bench JSON shape:
@@ -95,6 +137,8 @@ inline void write_bench_json(const std::string& path, const std::string& bench,
     w.kv("total_bytes", pt.total_bytes);
     w.kv("messages", pt.messages);
     w.kv("grid", pt.grid);
+    if (pt.predicted_seconds > 0)
+      w.kv("predicted_seconds", pt.predicted_seconds);
     w.end_object();
   }
   w.end_array();
@@ -193,6 +237,58 @@ inline const std::vector<std::string>& algo_names() {
 template <typename T>
 T pick(T full, T small) {
   return bench_scale() == BenchScale::Full ? full : small;
+}
+
+/// The rank sweep a `--virtual` bench runs: the issue's P = 512-4096
+/// trajectory unless the user narrowed it with `-p`.
+inline std::vector<int> virtual_ps(const BenchArgs& args) {
+  return args.ps.empty() ? std::vector<int>{512, 1024, 2048, 4096} : args.ps;
+}
+
+/// Shared `--virtual` section: run every implementation over the given
+/// (n, p) points on the virtual-time fabric and print the predicted
+/// wall-clock trajectory next to the analytic LogGP phase model (COnfLUX /
+/// CALU only — the baselines have volume models but no phase-time replay).
+/// Host seconds show what the fiber scheduler actually cost.
+inline std::vector<BenchPoint> run_virtual_sweep(
+    const BenchArgs& args, const std::vector<std::pair<int, int>>& nps,
+    BenchTrace& trace) {
+  const models::Machine m = models::machine_by_name(args.machine);
+  std::cout << "-- virtual time: " << m.name << " (alpha " << m.alpha_s * 1e6
+            << " us, beta " << 1.0 / m.beta_s_per_byte / 1e9 << " GB/s) --\n";
+  Table table({"P", "N", "impl", "predicted s", "model s", "MB/node",
+               "host s", "grid"});
+  std::vector<BenchPoint> points;
+  for (const auto& [n, p] : nps) {
+    for (const std::string& algo : algo_names()) {
+      Stopwatch sw;
+      const lu::LuResult res = run_dry_virtual(algo, n, p, m, trace.board());
+      const double host = sw.seconds();
+      trace.add(algo + "/n" + std::to_string(n) + "/p" + std::to_string(p));
+      const std::string model =
+          models::has_phase_model(algo)
+              ? fmt(models::predict_lu_makespan(algo, n, p, m.alpha_s,
+                                                m.beta_s_per_byte),
+                    4)
+              : "-";
+      table.add_row({std::to_string(p), std::to_string(n), algo,
+                     fmt(res.predicted_seconds, 4), model,
+                     fmt(res.bytes_per_rank() / 1e6, 4), fmt(host, 4),
+                     res.grid});
+      BenchPoint pt{p,
+                    n,
+                    algo,
+                    host,
+                    res.bytes_per_rank(),
+                    res.total_bytes(),
+                    res.total.messages_sent,
+                    res.grid,
+                    res.predicted_seconds};
+      points.push_back(pt);
+    }
+  }
+  table.print(std::cout, 2);
+  return points;
 }
 
 }  // namespace conflux::bench

@@ -9,6 +9,12 @@
 /// BENCH_simnet.json) so the simulator's perf trajectory can be tracked
 /// across PRs; `--trace=path` writes a merged Chrome-trace profile of the
 /// measured sweep (one process per point).
+///
+/// `--virtual` switches to the virtual-time fabric and sweeps P =
+/// 512-4096 (or the `-p` list) at the same fixed N, printing *predicted*
+/// wall clocks on the `--machine=NAME` preset (default Piz Daint) next to
+/// the analytic LogGP phase model; the JSON summary defaults to
+/// BENCH_virtual.json.
 #include "bench/bench_common.hpp"
 #include "support/timer.hpp"
 
@@ -16,11 +22,28 @@ int main(int argc, char** argv) {
   using namespace conflux;
   using namespace conflux::bench;
 
-  const BenchArgs args = parse_bench_args(argc, argv, "BENCH_simnet.json");
-  BenchTrace trace(args.trace_path);
-
   const bool full = bench_scale() == BenchScale::Full;
   const int n = full ? 16384 : 2048;
+
+  BenchArgs args = parse_bench_args(argc, argv, "BENCH_simnet.json");
+  if (args.virtual_mode) {
+    if (args.json_path == "BENCH_simnet.json")
+      args.json_path = "BENCH_virtual.json";
+    BenchTrace trace(args.trace_path);
+    std::cout << "== Figure 6a (virtual time): predicted wall clock vs P "
+                 "(N = "
+              << n << ") ==\n\n";
+    std::vector<std::pair<int, int>> nps;
+    for (int p : virtual_ps(args)) nps.emplace_back(n, p);
+    const std::vector<BenchPoint> points =
+        run_virtual_sweep(args, nps, trace);
+    if (!args.json_path.empty())
+      write_bench_json(args.json_path, "fig6a-virtual", n, points);
+    trace.finish();
+    return 0;
+  }
+
+  BenchTrace trace(args.trace_path);
   const std::vector<int> ps = full
                                   ? std::vector<int>{4, 16, 64, 256, 1024}
                                   : std::vector<int>{4, 16, 64};

@@ -4,10 +4,21 @@
 ///
 /// `--json[=path]` writes the per-point summary (default BENCH_fig6b.json,
 /// shared emitter shape); `--trace=path` a merged Chrome-trace profile.
+/// `--virtual` runs the same weak-scaling rule at P = 512-4096 (or the
+/// `-p` list) on the virtual-time fabric, predicting wall clocks on the
+/// `--machine=NAME` preset.
 #include <cmath>
 
 #include "bench/bench_common.hpp"
 #include "grid/grid_opt.hpp"
+
+namespace {
+/// Weak-scaling N: block-friendly multiple near n0 * P^(1/3).
+int weak_n(double n0, int p) {
+  const int raw = static_cast<int>(std::lround(n0 * std::cbrt(p)));
+  return std::max(128, (raw / 128) * 128);
+}
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace conflux;
@@ -18,6 +29,20 @@ int main(int argc, char** argv) {
 
   const bool full = bench_scale() == BenchScale::Full;
   const double n0 = full ? 3200.0 : 640.0;
+
+  if (args.virtual_mode) {
+    std::cout << "== Figure 6b (virtual time): weak scaling N = " << n0
+              << " * P^(1/3), predicted wall clock ==\n\n";
+    std::vector<std::pair<int, int>> nps;
+    for (int p : virtual_ps(args)) nps.emplace_back(weak_n(n0, p), p);
+    const std::vector<BenchPoint> points =
+        run_virtual_sweep(args, nps, trace);
+    if (!args.json_path.empty())
+      write_bench_json(args.json_path, "fig6b-virtual", 0, points);
+    trace.finish();
+    return 0;
+  }
+
   const std::vector<int> ps = full ? std::vector<int>{8, 27, 64, 216, 512}
                                    : std::vector<int>{8, 27, 64};
 
@@ -28,9 +53,7 @@ int main(int argc, char** argv) {
   std::map<std::string, double> first;
   std::vector<BenchPoint> points;
   for (int p : ps) {
-    // Round N to a block-friendly multiple near n0 * P^(1/3).
-    const int raw = static_cast<int>(std::lround(n0 * std::cbrt(p)));
-    const int n = std::max(128, (raw / 128) * 128);
+    const int n = weak_n(n0, p);
     for (const std::string& algo : algo_names()) {
       Stopwatch sw;
       const lu::LuResult res = run_dry(algo, n, p, trace.board());

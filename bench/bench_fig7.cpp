@@ -7,6 +7,9 @@
 /// `--json[=path]` writes the measured sweep's raw per-(N, P, impl) volumes
 /// (default BENCH_fig7.json, shared emitter shape — the reduction factors
 /// are derivable); `--trace=path` a merged Chrome-trace profile.
+/// `--virtual` sweeps P = 512-4096 (or the `-p` list) at a fixed N on the
+/// virtual-time fabric, adding predicted wall clocks (--machine preset) to
+/// the volume-reduction story.
 #include "bench/bench_common.hpp"
 #include "models/machines.hpp"
 
@@ -19,6 +22,33 @@ int main(int argc, char** argv) {
   BenchTrace trace(args.trace_path);
 
   const bool full = bench_scale() == BenchScale::Full;
+
+  if (args.virtual_mode) {
+    const int n = full ? 8192 : 1024;
+    std::cout << "== Figure 7 (virtual time): predicted wall clock and "
+                 "volume reduction at N = "
+              << n << " ==\n\n";
+    std::vector<std::pair<int, int>> nps;
+    for (int p : virtual_ps(args)) nps.emplace_back(n, p);
+    const std::vector<BenchPoint> points =
+        run_virtual_sweep(args, nps, trace);
+    Table red_t({"P", "reduction", "second best"});
+    for (std::size_t i = 0; i < points.size();) {
+      std::vector<NamedVolume> entries;
+      const int p = points[i].p;
+      for (; i < points.size() && points[i].p == p; ++i)
+        entries.push_back({points[i].impl, points[i].total_bytes});
+      const auto red = models::reduction_vs_second_best(entries);
+      red_t.add_row({std::to_string(p), fmt(red.factor, 3) + "x",
+                     red.second_best.substr(0, 1)});
+    }
+    std::cout << "\n";
+    red_t.print(std::cout, 2);
+    if (!args.json_path.empty())
+      write_bench_json(args.json_path, "fig7-virtual", n, points);
+    trace.finish();
+    return 0;
+  }
 
   std::cout << "== Figure 7: communication reduction vs second-best ==\n\n"
             << "-- measured (simulator) --\n";

@@ -71,7 +71,10 @@ while IFS= read -r md; do
     done
   done < <(grep -E '\b(commcheck|confscope|bench_[a-z0-9_]+)\b.*--[a-z]' "$md" || true)
 done < <(find . -mindepth 1 \( -name build -o -name '.*' \) -prune -o \
-         -name '*.md' -print | sort)
+         -name '*.md' ! -name CHANGES.md -print | sort)
+# CHANGES.md is exempt: its entries are one-line-per-PR history blobs that
+# routinely name several binaries and another tool's flags in one line,
+# which the per-line attribution above cannot parse.
 
 # --- 4: malformed Doxygen trailing-comment markers ---------------------------
 # Strip every well-formed `///<` occurrence, then flag any surviving `/<`:

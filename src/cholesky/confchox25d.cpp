@@ -443,7 +443,7 @@ CholResult Confchox25D::run(const linalg::Matrix* a, const CholConfig& cfg) {
     records = factor::make_step_records(plan.n, plan.v, /*with_a01=*/false);
   std::atomic<bool> not_spd{false};
 
-  simnet::Network net(plan.active);
+  simnet::Network net(plan.active, cfg.fabric);
   if (cfg.trace != nullptr) net.set_trace(cfg.trace);
   if (cfg.telemetry != nullptr) net.set_telemetry(cfg.telemetry);
   plan.tel = cfg.telemetry;

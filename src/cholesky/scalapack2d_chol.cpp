@@ -262,7 +262,7 @@ CholResult Scalapack2DCholesky::run(const linalg::Matrix* a,
     params.gathered = &gathered;
   }
 
-  simnet::Network net(g.active());
+  simnet::Network net(g.active(), cfg.fabric);
   if (cfg.trace != nullptr) net.set_trace(cfg.trace);
   if (cfg.telemetry != nullptr) net.set_telemetry(cfg.telemetry);
   Stopwatch timer;

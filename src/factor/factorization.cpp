@@ -10,6 +10,7 @@ void fill_comm_stats(FactorResult& result, const simnet::Network& net,
   result.max_rank_bytes = net.stats().max_rank_bytes();
   result.ranks_used = ranks_used;
   result.ranks_available = ranks_available;
+  result.predicted_seconds = net.virtual_makespan();
 }
 
 }  // namespace conflux::factor

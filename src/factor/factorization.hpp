@@ -21,6 +21,7 @@
 
 #include "linalg/matrix.hpp"
 #include "simnet/stats.hpp"
+#include "simnet/vtime.hpp"
 
 namespace conflux::simnet {
 class Network;
@@ -69,6 +70,13 @@ struct FactorConfig {
   /// dry run; numeric runs can attach it too to check the dry-run contract.
   simnet::TraceRecorder* trace = nullptr;
 
+  /// Execution mode of the run's fabric (simnet/vtime.hpp). Threaded (the
+  /// default) runs one OS thread per rank; VirtualTime multiplexes
+  /// cooperative fibers over the thread pool with a LogGP clock, which is
+  /// what lets the benches run P = 512–4096 on a laptop-class host and
+  /// report a *predicted* wall clock (FactorResult::predicted_seconds).
+  simnet::FabricSpec fabric;
+
   /// Optional ConfScope telemetry (support/telemetry.hpp), mirroring the
   /// `trace` hook: when set, the run's Network attaches this board, the
   /// backend opens a span per step-record phase (panel tournament, pivot
@@ -91,6 +99,11 @@ struct FactorResult {
   int block = 0;                     ///< block size actually used
   double residual = std::numeric_limits<double>::quiet_NaN();  ///< Numeric
   double seconds = 0;                ///< wall time of the simulated run
+
+  /// Virtual-time runs only: the predicted wall clock of the run on the
+  /// modeled machine — the maximum per-rank LogGP clock at the join. 0 for
+  /// threaded runs.
+  double predicted_seconds = 0;
 
   /// Factors retained by a numeric run with cfg.keep_factors. Packing is
   /// family-specific: LU stores L below the diagonal and U on/above it in

@@ -810,7 +810,7 @@ LuResult run_block25d(const linalg::Matrix* a, const LuConfig& cfg,
     }
   }
 
-  simnet::Network net(plan.active);
+  simnet::Network net(plan.active, cfg.fabric);
   if (cfg.trace != nullptr) net.set_trace(cfg.trace);
   if (cfg.telemetry != nullptr) net.set_telemetry(cfg.telemetry);
   plan.tel = cfg.telemetry;

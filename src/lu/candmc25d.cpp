@@ -44,7 +44,7 @@ LuResult Candmc25D::run(const linalg::Matrix* a, const LuConfig& cfg) {
   const bool gather = numeric && (cfg.verify || cfg.keep_factors);
   if (gather) gathered = linalg::Matrix(cfg.n, cfg.n);
 
-  simnet::Network net(active);
+  simnet::Network net(active, cfg.fabric);
   if (cfg.trace != nullptr) net.set_trace(cfg.trace);
   if (cfg.telemetry != nullptr) net.set_telemetry(cfg.telemetry);
   Stopwatch timer;

@@ -507,7 +507,7 @@ LuResult ScaLapack2D::run(const linalg::Matrix* a, const LuConfig& cfg) {
     params.ipiv_out = &ipiv;
   }
 
-  simnet::Network net(g.active());
+  simnet::Network net(g.active(), cfg.fabric);
   if (cfg.trace != nullptr) net.set_trace(cfg.trace);
   if (cfg.telemetry != nullptr) net.set_telemetry(cfg.telemetry);
   Stopwatch timer;

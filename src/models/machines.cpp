@@ -1,21 +1,63 @@
 #include "models/machines.hpp"
 
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "support/assert.hpp"
+
 namespace conflux::models {
 
 namespace {
 constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+}  // namespace
+
+// Link parameters: alpha is the small-message latency of the interconnect,
+// beta the inverse per-rank injection bandwidth (1 rank per node, so the
+// node's NIC bandwidth). Values are the vendors' published figures rounded
+// to one significant digit — the volume model is exact, the time model is
+// deliberately coarse.
+
+Machine piz_daint() {
+  // Cray Aries dragonfly: ~1 us MPI latency, ~10 GB/s injection per node.
+  return {"Piz Daint", 5704, 64.0 * kGiB, 1.0e-6, 1.0e-10, 0.0};
 }
 
-Machine piz_daint() { return {"Piz Daint", 5704, 64.0 * kGiB}; }
+Machine summit() {
+  // Dual-rail EDR InfiniBand: ~1 us, ~25 GB/s per node.
+  return {"Summit", 4608, (512.0 + 96.0) * kGiB, 1.0e-6, 4.0e-11, 0.0};
+}
 
-Machine summit() { return {"Summit", 4608, (512.0 + 96.0) * kGiB}; }
+Machine taihulight() {
+  // Sunway TaihuLight custom network: ~1 us, ~8 GB/s per node.
+  return {"TaihuLight", 40960, 32.0 * kGiB, 1.0e-6, 1.25e-10, 0.0};
+}
 
-Machine taihulight() { return {"TaihuLight", 40960, 32.0 * kGiB}; }
-
-Machine future_exascale() { return {"Future-262k", 262144, 16.0 * kGiB}; }
+Machine future_exascale() {
+  // Generic near-future machine: ~0.5 us, ~50 GB/s per rank.
+  return {"Future-262k", 262144, 16.0 * kGiB, 5.0e-7, 2.0e-11, 0.0};
+}
 
 std::vector<Machine> all_machines() {
   return {piz_daint(), summit(), taihulight(), future_exascale()};
+}
+
+Machine machine_by_name(const std::string& name) {
+  const std::string needle = lower(name);
+  for (const Machine& m : all_machines())
+    if (lower(m.name) == needle) return m;
+  for (const Machine& m : all_machines())
+    if (lower(m.name).find(needle) != std::string::npos) return m;
+  std::ostringstream os;
+  os << "unknown machine '" << name << "'; known machines:";
+  for (const Machine& m : all_machines()) os << " '" << m.name << '\'';
+  throw ContractViolation(os.str());
 }
 
 }  // namespace conflux::models

@@ -10,11 +10,19 @@
 
 namespace conflux::models {
 
-/// A machine's coarse parameters for the volume models.
+/// A machine's coarse parameters for the volume models, plus the
+/// LogGP-style link parameters the virtual-time fabric clock consumes
+/// (simnet::LinkModel — kept as plain doubles here so models/ stays free of
+/// simnet headers): per-message latency alpha, inverse per-rank injection
+/// bandwidth beta, and optional per-flop compute cost gamma (0 = comm-only
+/// predictions, the paper's modeling focus).
 struct Machine {
   std::string name;
   int ranks = 0;                ///< MPI ranks at full scale (1/socket or GPU)
   double mem_bytes_per_rank = 0;  ///< usable memory per rank
+  double alpha_s = 1.0e-6;        ///< network latency per message (seconds)
+  double beta_s_per_byte = 1.0e-10;  ///< 1 / injection bandwidth
+  double gamma_s_per_flop = 0.0;     ///< compute cost; 0 = comm-only clock
 
   /// Memory budget in matrix elements per rank, assuming doubles and a
   /// utilization factor (the whole budget cannot hold working copies).
@@ -38,5 +46,11 @@ struct Machine {
 
 /// All presets.
 [[nodiscard]] std::vector<Machine> all_machines();
+
+/// Preset lookup by name — exact preset name or a case-insensitive
+/// substring ("daint", "summit", ...). Throws ContractViolation listing the
+/// known names when nothing matches; benches use this for their --machine
+/// flag.
+[[nodiscard]] Machine machine_by_name(const std::string& name);
 
 }  // namespace conflux::models

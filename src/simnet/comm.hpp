@@ -166,6 +166,19 @@ class Comm {
     return net_->stats().rank_volume(rank_);
   }
 
+  // --- virtual time (no-ops / 0 in threaded mode) --------------------------
+
+  /// True when the fabric runs in virtual-time mode (fibers + LogGP clock).
+  [[nodiscard]] bool virtual_time() const { return net_->virtual_time(); }
+
+  /// Charge local compute to this rank's virtual clock (gamma * flops).
+  void charge_flops(double flops) const { net_->charge_flops(rank_, flops); }
+
+  /// This rank's virtual clock in simulated seconds.
+  [[nodiscard]] double virtual_seconds() const {
+    return net_->virtual_seconds(rank_);
+  }
+
  private:
   Network* net_;
   int rank_;

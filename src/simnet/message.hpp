@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "support/assert.hpp"
+
 namespace conflux::simnet {
 
 /// Report a buffer-ownership violation (use-after-take, mutation of an
@@ -31,12 +33,29 @@ void report_buffer_misuse(const std::string& what);
 /// implementations.
 using Tag = std::uint64_t;
 
+/// Field widths of the make_tag packing: phase<<44 | step<<20 | sub. `sub`
+/// gets 20 bits so rank-indexed sub-operation ids stay collision-free past
+/// the paper-scale P = 4096 (the historical 12-bit layout silently wrapped
+/// `sub & 0xFFF` in release builds, aliasing two channels' tags); the
+/// remaining 12 phase bits keep the composed value inside the 56 bits the
+/// collectives' round-tag shift requires.
+inline constexpr std::uint32_t kTagPhaseBits = 12;
+inline constexpr std::uint32_t kTagStepBits = 24;
+inline constexpr std::uint32_t kTagSubBits = 20;
+
 /// Compose a tag from an algorithm phase, an outer-loop step and a
-/// sub-operation id. All three are range-checked in debug contract mode.
+/// sub-operation id. The range check is unconditional (it throws
+/// ContractViolation in release builds too): a wrapped field would silently
+/// alias another channel's tag, which is strictly worse than failing.
 [[nodiscard]] constexpr Tag make_tag(std::uint32_t phase, std::uint32_t step,
-                                     std::uint32_t sub = 0) noexcept {
-  return (static_cast<Tag>(phase) << 40) | (static_cast<Tag>(step) << 12) |
-         static_cast<Tag>(sub & 0xFFF);
+                                     std::uint32_t sub = 0) {
+  if (phase >= (1u << kTagPhaseBits) || step >= (1u << kTagStepBits) ||
+      sub >= (1u << kTagSubBits))
+    throw ContractViolation(
+        "make_tag field out of range (phase < 2^12, step < 2^24, sub < "
+        "2^20)");
+  return (static_cast<Tag>(phase) << (kTagStepBits + kTagSubBits)) |
+         (static_cast<Tag>(step) << kTagSubBits) | static_cast<Tag>(sub);
 }
 
 /// An immutable, shareable payload. All recipients of a multicast alias the
@@ -138,6 +157,11 @@ struct Message {
   /// means some rank mutated an immutable in-flight payload — the
   /// mutation-of-SharedBuffer lint of the verifier.
   std::uint64_t fingerprint = 0;
+  /// Virtual-time mode only: simulated arrival instant in seconds
+  /// (sender's clock after LogGP injection, plus the link latency). The
+  /// receiver's clock advances to at least this value when it matches the
+  /// message. Unused (0) in threaded mode.
+  double vt_arrival = 0;
 };
 
 }  // namespace conflux::simnet

@@ -25,12 +25,14 @@ inline void cpu_pause() {
 
 }  // namespace
 
-Network::Network(int nranks)
+Network::Network(int nranks, FabricSpec spec)
     : nranks_(nranks),
+      spec_(spec),
       slots_per_rank_(
           std::min<std::size_t>(static_cast<std::size_t>(nranks),
                                 kMaxChannelSlots)),
       channels_(static_cast<std::size_t>(nranks) * slots_per_rank_),
+      inbound_(static_cast<std::size_t>(nranks)),
       stats_(nranks) {
   CONFLUX_EXPECTS(nranks >= 1);
   // Spinning before blocking only pays when senders can make progress on
@@ -38,43 +40,68 @@ Network::Network(int nranks)
   // the receiver must yield the core immediately instead.
   const unsigned hw = std::thread::hardware_concurrency();
   spin_iters_ = (hw > 1 && static_cast<int>(hw) >= nranks) ? 128 : 0;
+  if (spec_.mode == ExecMode::VirtualTime)
+    vt_ = std::make_unique<VtRuntime>(*this, nranks, spec_.link);
 }
 
 Network::~Network() { stop_team(); }
 
-void Network::enqueue(Channel& ch, int src, Tag tag, Message msg) {
+void Network::enqueue(int dst, int src, Tag tag, Message msg) {
+  Channel& ch = channel(dst, src);
+  // Per-destination depth/HWM; see Inbound for why this is not per-slot.
+  Inbound& in = inbound_[static_cast<std::size_t>(dst)];
+  const int depth = in.depth.fetch_add(1, std::memory_order_relaxed) + 1;
+  int hwm = in.hwm.load(std::memory_order_relaxed);
+  while (depth > hwm &&
+         !in.hwm.compare_exchange_weak(hwm, depth, std::memory_order_relaxed))
+    ;
   bool wake = false;
   {
     const std::lock_guard<std::mutex> lock(ch.mutex);
     ch.queues[{src, tag}].push_back(std::move(msg));
-    ++ch.queued;
-    ch.queued_hwm = std::max(ch.queued_hwm, ch.queued);
-    wake = ch.waiting && ch.waiting_src == src && ch.waiting_tag == tag;
+    if (vt_ != nullptr) {
+      // Fiber wakeup shares the channel mutex with the park handshake, so
+      // a deliver concurrent with a park either lands before the parking
+      // worker's queue re-check or observes the parked flag.
+      vt_->wake_if_parked(dst, src, tag);
+    } else {
+      wake = ch.waiting && ch.waiting_src == src && ch.waiting_tag == tag;
+    }
   }
   if (wake) ch.cv.notify_one();
 }
 
 void Network::set_trace(TraceRecorder* trace) {
   trace_ = trace;
-  if (trace_ != nullptr) trace_->reset(nranks_);
+  if (trace_ == nullptr) return;
+  trace_->reset(nranks_);
+  if (vt_ != nullptr) trace_->set_virtual_clock(vt_->clock_ns_array());
 }
 
 void Network::set_telemetry(telemetry::TelemetryBoard* board) {
   telemetry_ = board;
   if (telemetry_ == nullptr) return;
   telemetry_->reset(nranks_);
+  if (vt_ != nullptr) telemetry_->set_virtual_clock(vt_->clock_ns_array());
   // Queue high-water marks restart with the board so a reused Network
   // reports this run, not the union of all runs.
-  for (Channel& ch : channels_) {
-    const std::lock_guard<std::mutex> lock(ch.mutex);
-    ch.queued_hwm = ch.queued;
-  }
+  for (Inbound& in : inbound_)
+    in.hwm.store(in.depth.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
 }
 
 void Network::deliver(int src, int dst, Tag tag, Message msg) {
   CONFLUX_EXPECTS_CTX(src >= 0 && src < size() && dst >= 0 && dst < size(),
                       (CommContext{.src = src, .dst = dst}.with_tag(tag)));
   stats_.record_send(src, dst, msg.logical_bytes);
+  if (vt_ != nullptr) {
+    // Charge the LogGP injection cost before the telemetry/trace records
+    // so their timestamps reflect the post-send clock. Self-sends are free
+    // (matching the StatsBoard accounting exemption).
+    msg.vt_arrival = (src != dst)
+                         ? vt_->charge_send(src, msg.logical_bytes)
+                         : vt_->clock_seconds(src);
+  }
   if (telemetry_ != nullptr && src != dst)
     telemetry_->add_bytes(src, msg.logical_bytes);
   if (trace_ != nullptr) {
@@ -84,7 +111,7 @@ void Network::deliver(int src, int dst, Tag tag, Message msg) {
       if (msg.fingerprint == 0) msg.fingerprint = 1;  // 0 means unstamped
     }
   }
-  enqueue(channel(dst, src), src, tag, std::move(msg));
+  enqueue(dst, src, tag, std::move(msg));
 }
 
 void Network::multicast(int src, std::span<const int> dsts, Tag tag,
@@ -100,12 +127,34 @@ void Network::multicast(int src, std::span<const int> dsts, Tag tag,
     CONFLUX_EXPECTS_CTX(dst >= 0 && dst < size(),
                         (CommContext{.src = src, .dst = dst}.with_tag(tag)));
     stats_.record_send(src, dst, logical_bytes);
+    Message msg{payload, {}, logical_bytes, fingerprint, 0};
+    if (vt_ != nullptr) {
+      // Each destination pays its own injection charge: a P-way multicast
+      // costs the sender P sequential sends, exactly like the accounting.
+      msg.vt_arrival = (src != dst) ? vt_->charge_send(src, logical_bytes)
+                                    : vt_->clock_seconds(src);
+    }
     if (telemetry_ != nullptr && src != dst)
       telemetry_->add_bytes(src, logical_bytes);
     if (trace_ != nullptr)
       trace_->record_send(src, dst, tag, logical_bytes, /*multicast=*/true);
-    enqueue(channel(dst, src), src, tag,
-            Message{payload, {}, logical_bytes, fingerprint});
+    enqueue(dst, src, tag, std::move(msg));
+  }
+}
+
+/// Re-check the shared-payload fingerprint stamped at deliver time (the
+/// in-flight-mutation lint). Runs on the receiver's context once the
+/// message has been matched.
+void Network::check_fingerprint(int me, int src, Tag tag, const Message& m) {
+  if (m.shared && m.fingerprint != 0) {
+    std::uint64_t fp = payload_fingerprint(m.shared);
+    if (fp == 0) fp = 1;
+    if (fp != m.fingerprint) {
+      std::ostringstream os;
+      os << "shared payload mutated in flight "
+         << CommContext{.rank = me, .src = src, .dst = me}.with_tag(tag);
+      report_buffer_misuse(os.str());
+    }
   }
 }
 
@@ -113,6 +162,7 @@ Message Network::receive(int me, int src, Tag tag) {
   CONFLUX_EXPECTS_CTX(me >= 0 && me < size() && src >= 0 && src < size(),
                       (CommContext{.rank = me, .src = src, .dst = me}
                            .with_tag(tag)));
+  if (vt_ != nullptr) return receive_vt(me, src, tag);
   Channel& ch = channel(me, src);
   const auto key = std::make_pair(src, tag);
   // Wait-time attribution (ConfScope): stamped lazily, only after the
@@ -127,7 +177,8 @@ Message Network::receive(int me, int src, Tag tag) {
     out = std::move(it->second.front());
     it->second.pop_front();
     if (it->second.empty()) ch.queues.erase(it);
-    --ch.queued;
+    inbound_[static_cast<std::size_t>(me)].depth.fetch_sub(
+        1, std::memory_order_relaxed);
     return true;
   };
 
@@ -143,16 +194,7 @@ Message Network::receive(int me, int src, Tag tag) {
           wait_begin != 0 ? telemetry::now_ns() : 0, m.logical_bytes);
     if (trace_ != nullptr) {
       trace_->record_recv(me, src, tag, m.logical_bytes);
-      if (m.shared && m.fingerprint != 0) {
-        std::uint64_t fp = payload_fingerprint(m.shared);
-        if (fp == 0) fp = 1;
-        if (fp != m.fingerprint) {
-          std::ostringstream os;
-          os << "shared payload mutated in flight "
-             << CommContext{.rank = me, .src = src, .dst = me}.with_tag(tag);
-          report_buffer_misuse(os.str());
-        }
-      }
+      check_fingerprint(me, src, tag, m);
     }
     return std::move(m);
   };
@@ -190,12 +232,69 @@ Message Network::receive(int me, int src, Tag tag) {
   }
 }
 
+/// Virtual-time receive: no clocks, no spinning — a miss parks the calling
+/// fiber until the matching deliver wakes it. Once matched, the message's
+/// simulated arrival instant is folded into the receiver's virtual clock
+/// and the blocked interval is recorded in virtual time.
+Message Network::receive_vt(int me, int src, Tag tag) {
+  Channel& ch = channel(me, src);
+  const auto key = std::make_pair(src, tag);
+  Message msg;
+  for (;;) {
+    bool got = false;
+    {
+      const std::lock_guard<std::mutex> lock(ch.mutex);
+      const auto it = ch.queues.find(key);
+      if (it != ch.queues.end() && !it->second.empty()) {
+        msg = std::move(it->second.front());
+        it->second.pop_front();
+        if (it->second.empty()) ch.queues.erase(it);
+        inbound_[static_cast<std::size_t>(me)].depth.fetch_sub(
+            1, std::memory_order_relaxed);
+        got = true;
+      }
+    }
+    if (got) break;
+    if (aborted()) throw JobAborted{};
+    vt_->park(me, src, tag);
+    if (aborted()) throw JobAborted{};
+  }
+  const auto [begin_s, end_s] = vt_->absorb_arrival(me, msg.vt_arrival);
+  stats_.record_recv(me, src);
+  if (telemetry_ != nullptr)
+    telemetry_->record_wait(me, src, tag,
+                            static_cast<std::uint64_t>(begin_s * 1e9),
+                            static_cast<std::uint64_t>(end_s * 1e9),
+                            msg.logical_bytes);
+  if (trace_ != nullptr) {
+    // After absorb_arrival, so the Recv event carries the post-match clock.
+    trace_->record_recv(me, src, tag, msg.logical_bytes);
+    check_fingerprint(me, src, tag, msg);
+  }
+  return msg;
+}
+
 void Network::abort() {
   aborted_.store(true, std::memory_order_release);
   for (auto& ch : channels_) {
     const std::lock_guard<std::mutex> lock(ch.mutex);
     ch.cv.notify_all();
   }
+  if (vt_ != nullptr) vt_->wake_all_parked();
+}
+
+double Network::virtual_makespan() const {
+  return vt_ != nullptr ? vt_->makespan_seconds() : 0.0;
+}
+
+double Network::virtual_seconds(int rank) const {
+  CONFLUX_EXPECTS(rank >= 0 && rank < nranks_);
+  return vt_ != nullptr ? vt_->clock_seconds(rank) : 0.0;
+}
+
+void Network::charge_flops(int rank, double flops) {
+  CONFLUX_EXPECTS(rank >= 0 && rank < nranks_);
+  if (vt_ != nullptr) vt_->charge_flops(rank, flops);
 }
 
 // --- persistent rank team ---------------------------------------------------
@@ -257,10 +356,14 @@ void Network::run_team(const std::function<void(int)>& job) {
     for (auto& ch : channels_) {
       const std::lock_guard<std::mutex> lock(ch.mutex);
       ch.queues.clear();
-      ch.queued = 0;
       ch.waiting = false;
     }
+    for (Inbound& in : inbound_) in.depth.store(0, std::memory_order_relaxed);
     aborted_.store(false, std::memory_order_release);
+  }
+  if (vt_ != nullptr) {
+    run_vt(job);
+    return;
   }
   start_team();
   {
@@ -279,21 +382,29 @@ void Network::run_team(const std::function<void(int)>& job) {
     error = std::move(team_error_);
     team_error_ = nullptr;
   }
-  // Flush per-rank inbound queue-depth high-water marks into the telemetry
-  // board. The join above synchronizes, so the channel reads see every
-  // worker's final values.
-  if (telemetry_ != nullptr) {
-    for (int dst = 0; dst < nranks_; ++dst) {
-      int hwm = 0;
-      for (std::size_t s = 0; s < slots_per_rank_; ++s) {
-        Channel& ch = channels_[static_cast<std::size_t>(dst) *
-                                    slots_per_rank_ + s];
-        const std::lock_guard<std::mutex> lock(ch.mutex);
-        hwm = std::max(hwm, ch.queued_hwm);
-      }
-      telemetry_->set_queue_hwm(dst, hwm);
-    }
+  flush_queue_hwm();
+  if (error) std::rethrow_exception(error);
+}
+
+/// Flush per-rank inbound queue-depth high-water marks into the telemetry
+/// board. Called after the run_team / run_vt join, which synchronizes, so
+/// the relaxed reads see every worker's final values.
+void Network::flush_queue_hwm() {
+  if (telemetry_ == nullptr) return;
+  for (int dst = 0; dst < nranks_; ++dst)
+    telemetry_->set_queue_hwm(
+        dst, inbound_[static_cast<std::size_t>(dst)].hwm.load(
+                 std::memory_order_relaxed));
+}
+
+void Network::run_vt(const std::function<void(int)>& job) {
+  std::exception_ptr error;
+  try {
+    vt_->run(job, /*workers=*/0);
+  } catch (...) {
+    error = std::current_exception();
   }
+  flush_queue_hwm();
   if (error) std::rethrow_exception(error);
 }
 

@@ -1,9 +1,14 @@
 /// \file network.hpp
 /// The simulated interconnect: per-(destination, source) channel slots with
 /// tag matching and FIFO ordering per (source, destination, tag) channel —
-/// the ordering guarantee MPI gives for matching sends/receives. The
-/// Network also owns the persistent rank team: one OS thread per simulated
-/// rank, created once and reused across successive SPMD runs.
+/// the ordering guarantee MPI gives for matching sends/receives.
+///
+/// Two execution modes share the fabric (FabricSpec, vtime.hpp):
+///   - Threaded: the persistent rank team — one OS thread per simulated
+///     rank, created once and reused across successive SPMD runs.
+///   - VirtualTime: cooperative fibers multiplexed over the shared thread
+///     pool, with a LogGP clock advancing per-rank virtual time on every
+///     send/receive — the mode that runs P = 512–4096 on a laptop.
 #pragma once
 
 #include <atomic>
@@ -12,6 +17,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -21,6 +27,7 @@
 #include "simnet/message.hpp"
 #include "simnet/stats.hpp"
 #include "simnet/trace.hpp"
+#include "simnet/vtime.hpp"
 
 namespace conflux::telemetry {
 class TelemetryBoard;
@@ -49,7 +56,7 @@ class JobAborted : public std::runtime_error {
 /// immediately.
 class Network {
  public:
-  explicit Network(int nranks);
+  explicit Network(int nranks, FabricSpec spec = {});
   ~Network();
 
   Network(const Network&) = delete;
@@ -69,13 +76,34 @@ class Network {
   /// Block until a message from `src` with `tag` is available for `me`.
   [[nodiscard]] Message receive(int me, int src, Tag tag);
 
-  /// Run `job(rank)` once for every rank on the persistent rank team.
-  /// Threads are created lazily on the first call and reused by later
-  /// calls (and by later runs over the same Network). If any rank throws,
-  /// the job is aborted (blocked receives wake up with JobAborted) and the
-  /// first exception is rethrown here; a subsequent run resets the abort
-  /// flag and drains any stale messages.
+  /// Run `job(rank)` once for every rank. In Threaded mode this uses the
+  /// persistent rank team: threads are created lazily on the first call and
+  /// reused by later calls (and by later runs over the same Network). In
+  /// VirtualTime mode the ranks run as cooperative fibers multiplexed over
+  /// the shared thread pool. Either way, if any rank throws, the job is
+  /// aborted (blocked receives wake up with JobAborted) and the first
+  /// exception is rethrown here; a subsequent run resets the abort flag and
+  /// drains any stale messages.
   void run_team(const std::function<void(int)>& job);
+
+  // --- virtual time ---------------------------------------------------------
+
+  [[nodiscard]] const FabricSpec& fabric() const { return spec_; }
+  [[nodiscard]] bool virtual_time() const { return vt_ != nullptr; }
+
+  /// Predicted wall-clock of the last virtual-time run: the maximum
+  /// per-rank virtual clock after the join. 0 in Threaded mode.
+  [[nodiscard]] double virtual_makespan() const;
+
+  /// `rank`'s current virtual clock in seconds (0 in Threaded mode). Valid
+  /// from the rank's own fiber during a run, or from anywhere after the
+  /// join.
+  [[nodiscard]] double virtual_seconds(int rank) const;
+
+  /// Advance `rank`'s virtual clock by gamma * flops (no-op in Threaded
+  /// mode or when the link model is comm-only). Called by the engines from
+  /// the rank's own context.
+  void charge_flops(int rank, double flops);
 
   /// Mark the job as aborted and wake all blocked receivers.
   void abort();
@@ -106,6 +134,8 @@ class Network {
   }
 
  private:
+  friend class VtRuntime;  ///< parks/wakes under the channel mutexes
+
   /// One (destination, source-slot) channel. Queues are keyed by
   /// (source, tag) so slot sharing at very large rank counts stays correct.
   struct Channel {
@@ -117,27 +147,42 @@ class Network {
     int waiting_src = -1;
     Tag waiting_tag = 0;
     bool waiting = false;
-    // Queue-depth accounting for ConfScope: messages currently enqueued
-    // across this slot's queues, and the high-water mark. Guarded by
-    // `mutex`.
-    int queued = 0;
-    int queued_hwm = 0;
+  };
+
+  /// Per-destination inbound queue-depth accounting for ConfScope. This
+  /// lives beside the channels (not inside them) deliberately: channel
+  /// slots are shared between sources at P > kMaxChannelSlots, so a
+  /// per-slot counter would report a per-slot high-water mark as if it
+  /// were the rank's — under sharing, neither a max nor a sum over slots
+  /// reconstructs the true simultaneous per-rank depth. Atomics, because
+  /// deliverers into different slots of one destination hold different
+  /// channel mutexes.
+  struct Inbound {
+    std::atomic<int> depth{0};
+    std::atomic<int> hwm{0};
   };
 
   [[nodiscard]] Channel& channel(int dst, int src) {
     return channels_[static_cast<std::size_t>(dst) * slots_per_rank_ +
                      static_cast<std::size_t>(src) % slots_per_rank_];
   }
-  void enqueue(Channel& ch, int src, Tag tag, Message msg);
+  void enqueue(int dst, int src, Tag tag, Message msg);
+  [[nodiscard]] Message receive_vt(int me, int src, Tag tag);
+  void check_fingerprint(int me, int src, Tag tag, const Message& m);
+  void run_vt(const std::function<void(int)>& job);
+  void flush_queue_hwm();
 
   int nranks_ = 0;
+  FabricSpec spec_;
   std::size_t slots_per_rank_ = 0;
   std::vector<Channel> channels_;
+  std::vector<Inbound> inbound_;
   StatsBoard stats_;
   TraceRecorder* trace_ = nullptr;
   telemetry::TelemetryBoard* telemetry_ = nullptr;
   std::atomic<bool> aborted_{false};
   int spin_iters_ = 0;  ///< 0 on oversubscribed hosts
+  std::unique_ptr<VtRuntime> vt_;  ///< non-null iff VirtualTime mode
 
   // --- persistent rank team -------------------------------------------------
   void team_worker(int rank);

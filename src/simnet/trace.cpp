@@ -13,6 +13,12 @@ void TraceRecorder::reset(int nranks) {
   slots_.clear();
   slots_.resize(static_cast<std::size_t>(nranks));
   epoch_ = telemetry::now_ns();
+  vclock_ = nullptr;
+}
+
+std::uint64_t TraceRecorder::stamp_ns(int rank) const {
+  if (vclock_ != nullptr) return vclock_[static_cast<std::size_t>(rank)];
+  return telemetry::now_ns() - epoch_;
 }
 
 std::size_t TraceRecorder::size() const {
@@ -31,8 +37,7 @@ void TraceRecorder::record_send(int src, int dst, Tag tag, std::uint64_t bytes,
   CONFLUX_EXPECTS_CTX(src >= 0 && src < nranks() && dst >= 0,
                       (CommContext{.src = src, .dst = dst}.with_tag(tag)));
   slots_[static_cast<std::size_t>(src)].events.push_back(
-      {EventKind::Send, dst, tag, bytes, multicast,
-       telemetry::now_ns() - epoch_});
+      {EventKind::Send, dst, tag, bytes, multicast, stamp_ns(src)});
 }
 
 void TraceRecorder::record_recv(int dst, int src, Tag tag,
@@ -40,8 +45,7 @@ void TraceRecorder::record_recv(int dst, int src, Tag tag,
   CONFLUX_EXPECTS_CTX(dst >= 0 && dst < nranks() && src >= 0,
                       (CommContext{.src = src, .dst = dst}.with_tag(tag)));
   slots_[static_cast<std::size_t>(dst)].events.push_back(
-      {EventKind::Recv, src, tag, bytes, false,
-       telemetry::now_ns() - epoch_});
+      {EventKind::Recv, src, tag, bytes, false, stamp_ns(dst)});
 }
 
 // --- buffer-ownership debug hooks ------------------------------------------

@@ -68,13 +68,25 @@ class TraceRecorder {
   /// (captured in reset()).
   [[nodiscard]] std::uint64_t epoch_ns() const { return epoch_; }
 
+  /// Switch event timestamps to virtual time: `clock_ns` points at one
+  /// uint64 per rank (owned by the caller, updated by each rank's own
+  /// context). Events are then stamped from the recording rank's virtual
+  /// clock, so critical-path analysis over a virtual-time run works in
+  /// simulated seconds. reset() clears the attachment; pass nullptr to
+  /// detach.
+  void set_virtual_clock(const std::uint64_t* clock_ns) { vclock_ = clock_ns; }
+
  private:
   /// Cache-line-padded so concurrent ranks never share a line.
   struct alignas(64) Slot {
     std::vector<TraceEvent> events;
   };
+
+  [[nodiscard]] std::uint64_t stamp_ns(int rank) const;
+
   std::vector<Slot> slots_;
   std::uint64_t epoch_ = 0;
+  const std::uint64_t* vclock_ = nullptr;
 };
 
 /// --- buffer-ownership debug hooks ----------------------------------------

@@ -1,0 +1,149 @@
+/// \file vtime.hpp
+/// The virtual-time execution mode of the simulated fabric: an event-driven
+/// scheduler that multiplexes thousands of cooperative rank contexts
+/// (ucontext fibers with small mmap'd stacks) onto the shared thread pool,
+/// and a LogGP-style latency/bandwidth clock that advances a per-rank
+/// virtual clock on every send, receive and (optionally) charged flop.
+///
+/// Why it exists: the persistent rank team runs one OS thread per simulated
+/// rank, which caps usable P at roughly the host's core count. The paper's
+/// headline figures run at P = 512–4096 on Piz Daint; with fibers, those
+/// scales run on a laptop, and the virtual clocks turn the run into a
+/// *predicted wall-clock* for the modeled machine.
+///
+/// Determinism: the simulation is a pure dataflow. Each blocking receive
+/// names its (src, tag) channel and FIFO order within a channel is
+/// preserved, so the k-th matching receive always pairs with the k-th
+/// matching send regardless of host interleaving. Virtual timestamps are
+/// computed from sender clocks at send time and folded into receiver clocks
+/// at match time — both functions of the dataflow only — so the predicted
+/// makespan and all CommVolume counters are bit-identical across repeated
+/// runs and across worker counts (the determinism contract test_vtime
+/// pins).
+///
+/// Clock model (LogGP with o folded into alpha, G = beta):
+///   send  k bytes:  sender clock += k * beta (injection serialization);
+///                   arrival = sender clock + alpha
+///   recv:           receiver clock = max(receiver clock, arrival)
+///   flops f:        clock += f * gamma (engines charge their local compute)
+///   self-sends are free, matching the StatsBoard accounting exemption.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "simnet/message.hpp"
+
+namespace conflux::simnet {
+
+class Network;
+
+/// LogGP-style machine parameters for the virtual clock. The defaults are a
+/// generic modern interconnect (1 us latency, 10 GB/s per-rank injection
+/// bandwidth, comm-only); the presets in models/machines.hpp carry
+/// per-machine values.
+struct LinkModel {
+  double alpha_s = 1.0e-6;          ///< per-message latency (seconds)
+  double beta_s_per_byte = 1.0e-10;  ///< inverse injection bandwidth
+  double gamma_s_per_flop = 0.0;     ///< compute cost; 0 = comm-only clock
+};
+
+/// How a Network executes its SPMD ranks.
+enum class ExecMode {
+  Threaded,     ///< persistent rank team: one OS thread per rank
+  VirtualTime,  ///< cooperative fibers + LogGP virtual clock
+};
+
+/// Execution-mode selection carried by the Network constructor (and by
+/// factor::FactorConfig::fabric through every backend).
+struct FabricSpec {
+  ExecMode mode = ExecMode::Threaded;
+  LinkModel link;
+};
+
+/// The fiber scheduler behind ExecMode::VirtualTime. Owned by the Network;
+/// everything here is internal to the fabric — user code selects the mode
+/// through FabricSpec and reads clocks through Network::virtual_makespan()
+/// / Comm::virtual_seconds().
+class VtRuntime {
+ public:
+  VtRuntime(Network& net, int nranks, LinkModel link);
+  ~VtRuntime();
+
+  VtRuntime(const VtRuntime&) = delete;
+  VtRuntime& operator=(const VtRuntime&) = delete;
+
+  /// Run `job(rank)` once per rank on cooperative fibers, multiplexed over
+  /// `workers` host threads (clamped to the shared pool's size by the
+  /// caller). Rethrows the first rank exception after all fibers unwind.
+  void run(const std::function<void(int)>& job, int workers);
+
+  // --- called from inside a rank's fiber -----------------------------------
+
+  /// Suspend the calling rank's fiber until a message on (src, tag) is
+  /// enqueued for it (or the job aborts). The caller re-checks its queue on
+  /// return; lost wakeups are impossible because the parked flag is
+  /// registered under the destination channel's mutex after the fiber's
+  /// context is saved, with a queue re-check in between.
+  void park(int rank, int src, Tag tag);
+
+  /// Advance `rank`'s clock by the LogGP injection cost of `bytes` and
+  /// return the arrival instant (clock + alpha). Self-sends are free:
+  /// callers skip the charge for src == dst.
+  double charge_send(int rank, std::size_t bytes);
+
+  /// Fold a matched message's arrival into `rank`'s clock; returns the
+  /// blocked interval [begin, end) in seconds (zero-length when the message
+  /// was already there).
+  std::pair<double, double> absorb_arrival(int rank, double arrival);
+
+  /// Charge local compute to `rank`'s clock (gamma * flops).
+  void charge_flops(int rank, double flops);
+
+  // --- called by the Network / deliver path --------------------------------
+
+  /// Wake `dst` if it is parked on (src, tag). Must be called with the
+  /// (dst, src) channel's mutex held (the same mutex the parking handshake
+  /// uses), which makes the park/deliver race benign.
+  void wake_if_parked(int dst, int src, Tag tag);
+
+  /// Wake every parked fiber (abort path); each resumes, observes the
+  /// aborted flag and unwinds with JobAborted.
+  void wake_all_parked();
+
+  // --- post-join queries ----------------------------------------------------
+
+  [[nodiscard]] double clock_seconds(int rank) const;
+  [[nodiscard]] double makespan_seconds() const;
+
+  /// Per-rank virtual clocks in nanoseconds, updated by each rank's own
+  /// fiber — the timestamp source TelemetryBoard/TraceRecorder use in
+  /// virtual-time mode.
+  [[nodiscard]] const std::uint64_t* clock_ns_array() const;
+
+ private:
+  struct RankCtx;
+  struct Impl;
+  friend struct Impl;
+
+  /// makecontext entry point; the RankCtx pointer arrives split across the
+  /// two unsigned ints (makecontext passes only ints portably).
+  static void trampoline(unsigned int hi, unsigned int lo);
+
+  void worker_loop();
+  void resume(RankCtx& c);
+  void finish_park(RankCtx& c);
+  void push_ready(int rank);
+  void fiber_main(RankCtx& c);
+
+  Network* net_;
+  int nranks_;
+  LinkModel link_;
+  Impl* impl_;
+};
+
+}  // namespace conflux::simnet

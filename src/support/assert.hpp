@@ -51,11 +51,11 @@ inline std::ostream& operator<<(std::ostream& os, const CommContext& c) {
   if (c.dst >= 0) os << sep << "dst=" << c.dst, sep = " ";
   if (c.has_tag) {
     // Decode the (phase, step, sub) packing of simnet::make_tag — stated
-    // there as phase<<40 | step<<12 | sub — purely as a reading aid; the
+    // there as phase<<44 | step<<20 | sub — purely as a reading aid; the
     // raw value is printed alongside.
     os << sep << "tag=0x" << std::hex << c.tag << std::dec << " (phase="
-       << (c.tag >> 40) << " step=" << ((c.tag >> 12) & 0xFFFFFFF)
-       << " sub=" << (c.tag & 0xFFF) << ')';
+       << (c.tag >> 44) << " step=" << ((c.tag >> 20) & 0xFFFFFF)
+       << " sub=" << (c.tag & 0xFFFFF) << ')';
   }
   os << ']';
   return os;

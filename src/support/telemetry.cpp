@@ -30,6 +30,12 @@ void TelemetryBoard::reset(int nranks) {
     s.open.reserve(8);
   }
   epoch_ = now_ns();
+  vclock_ = nullptr;
+}
+
+std::uint64_t TelemetryBoard::stamp_ns(int rank) const {
+  if (vclock_ != nullptr) return vclock_[static_cast<std::size_t>(rank)];
+  return now_ns() - epoch_;
 }
 
 TelemetryBoard::Slot& TelemetryBoard::slot(int rank) {
@@ -49,7 +55,7 @@ void TelemetryBoard::open_span(int rank, const char* name, int step) {
   span.step = step;
   span.depth = static_cast<int>(s.open.size());
   span.parent = s.open.empty() ? -1 : s.open.back();
-  span.begin_ns = now_ns() - epoch_;
+  span.begin_ns = stamp_ns(rank);
   s.open.push_back(static_cast<int>(s.spans.size()));
   s.spans.push_back(span);
 }
@@ -58,7 +64,7 @@ void TelemetryBoard::close_span(int rank) {
   Slot& s = slot(rank);
   CONFLUX_EXPECTS(!s.open.empty());
   Span& span = s.spans[static_cast<std::size_t>(s.open.back())];
-  span.end_ns = now_ns() - epoch_;
+  span.end_ns = stamp_ns(rank);
   s.open.pop_back();
 }
 
@@ -79,7 +85,12 @@ void TelemetryBoard::record_wait(int rank, int src, std::uint64_t tag,
   WaitSample w;
   w.src = src;
   w.tag = tag;
-  w.begin_ns = begin_abs_ns >= epoch_ ? begin_abs_ns - epoch_ : 0;
+  if (vclock_ != nullptr) {
+    // Virtual time: the fabric passes epoch-relative virtual ns directly.
+    w.begin_ns = begin_abs_ns;
+  } else {
+    w.begin_ns = begin_abs_ns >= epoch_ ? begin_abs_ns - epoch_ : 0;
+  }
   w.ns = end_abs_ns >= begin_abs_ns ? end_abs_ns - begin_abs_ns : 0;
   w.bytes = bytes;
   s.waits.push_back(w);

@@ -97,6 +97,16 @@ class TelemetryBoard {
   /// Absolute steady-clock ns of the epoch all timestamps are relative to.
   [[nodiscard]] std::uint64_t epoch_ns() const { return epoch_; }
 
+  /// Switch the board to virtual time: `clock_ns` points at one uint64 per
+  /// rank (owned by the caller, updated by each rank's own context), and
+  /// spans/waits are stamped from it instead of the steady clock — so a
+  /// virtual-time run's profile and Chrome trace show *simulated* seconds.
+  /// record_wait then interprets its begin/end arguments as virtual ns
+  /// (already epoch-relative). reset() clears the attachment; re-attach
+  /// after resetting. Pass nullptr to detach.
+  void set_virtual_clock(const std::uint64_t* clock_ns) { vclock_ = clock_ns; }
+  [[nodiscard]] bool virtual_clock() const { return vclock_ != nullptr; }
+
   // --- hot path (called only by rank `rank`'s own thread) -----------------
 
   void open_span(int rank, const char* name, int step = -1);
@@ -157,8 +167,13 @@ class TelemetryBoard {
   Slot& slot(int rank);
   [[nodiscard]] const Slot& slot(int rank) const;
 
+  /// Epoch-relative timestamp for `rank`: its virtual clock when attached,
+  /// the steady clock otherwise.
+  [[nodiscard]] std::uint64_t stamp_ns(int rank) const;
+
   std::vector<Slot> slots_;
   std::uint64_t epoch_ = 0;
+  const std::uint64_t* vclock_ = nullptr;
 };
 
 /// RAII span guard. With a null board this is a pair of pointer tests —

@@ -1,0 +1,378 @@
+// The virtual-time execution mode: cooperative-fiber scheduling at rank
+// counts far beyond the host's cores, LogGP clock semantics, bit-identical
+// determinism across repeated runs and worker counts, CommVolume parity
+// with the threaded rank team, the make_tag wide-layout regression, and
+// shared-channel-slot stress at P = 256.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "simnet/collectives.hpp"
+#include "simnet/spmd.hpp"
+#include "simnet/vtime.hpp"
+#include "support/telemetry.hpp"
+
+namespace conflux::simnet {
+namespace {
+
+FabricSpec virtual_fabric(double alpha = 1e-6, double beta = 1e-10,
+                          double gamma = 0.0) {
+  FabricSpec spec;
+  spec.mode = ExecMode::VirtualTime;
+  spec.link = LinkModel{alpha, beta, gamma};
+  return spec;
+}
+
+/// Scoped environment override (CONFLUX_VT_WORKERS etc).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old, had_ = true;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_)
+      ::setenv(name_, saved_.c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+// --- make_tag regression (satellite bugfix) --------------------------------
+
+TEST(MakeTag, FormerlyCollidingPairRoundTripsDistinctly) {
+  // Under the historical layout (phase<<40 | step<<12 | sub & 0xFFF) a
+  // rank-indexed sub at paper scale wrapped: sub = 4096 aliased sub = 0 in
+  // release builds. The wide layout keeps them distinct.
+  EXPECT_NE(make_tag(1, 0, 4096), make_tag(1, 0, 0));
+  EXPECT_NE(make_tag(1, 0, 4095 + 1), make_tag(1, 1, 0));
+  // Round-trip through the documented field layout.
+  const Tag t = make_tag(7, 1234, 4095 + 42);
+  EXPECT_EQ(t >> (kTagStepBits + kTagSubBits), 7u);
+  EXPECT_EQ((t >> kTagSubBits) & ((1u << kTagStepBits) - 1), 1234u);
+  EXPECT_EQ(t & ((1u << kTagSubBits) - 1), 4095u + 42u);
+}
+
+TEST(MakeTag, RangeCheckIsUnconditional) {
+  EXPECT_THROW((void)make_tag(1u << 12, 0, 0), ContractViolation);
+  EXPECT_THROW((void)make_tag(0, 1u << 24, 0), ContractViolation);
+  EXPECT_THROW((void)make_tag(0, 0, 1u << 20), ContractViolation);
+  // P = 4096 rank-indexed subs are in range — the point of the rebalance.
+  EXPECT_NO_THROW((void)make_tag(4095, (1u << 24) - 1, 4096));
+}
+
+TEST(MakeTag, StaysInsideCollectiveRoundTagBudget) {
+  // Collectives shift user tags left 8 bits for round tags; the widest
+  // composed tag must still fit in 56 bits.
+  const Tag widest =
+      make_tag((1u << 12) - 1, (1u << 24) - 1, (1u << 20) - 1);
+  EXPECT_LT(widest, Tag{1} << 56);
+}
+
+// --- basic virtual-time execution ------------------------------------------
+
+TEST(VirtualTime, RingExchangeCompletesBeyondCoreCount) {
+  const int p = 512;  // far beyond any laptop's core count
+  Network net(p, virtual_fabric());
+  run_spmd(net, [&](Comm& comm) {
+    const int r = comm.rank();
+    const std::vector<double> payload{static_cast<double>(r)};
+    comm.send((r + 1) % comm.size(), make_tag(1, 0, r), payload);
+    const std::vector<double> got =
+        comm.recv((r + comm.size() - 1) % comm.size(),
+                  make_tag(1, 0, (r + comm.size() - 1) % comm.size()));
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], (r + comm.size() - 1) % comm.size());
+  });
+  EXPECT_EQ(net.stats().total().messages_sent, static_cast<std::uint64_t>(p));
+  EXPECT_GT(net.virtual_makespan(), 0.0);
+}
+
+TEST(VirtualTime, LogGpClockArithmeticIsExact) {
+  const double alpha = 2e-6;
+  const double beta = 5e-10;
+  Network net(2, virtual_fabric(alpha, beta));
+  double clock0 = -1;
+  double clock1 = -1;
+  run_spmd(net, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, make_tag(1, 0, 0), std::vector<double>(8, 1.0));
+      clock0 = comm.virtual_seconds();
+    } else {
+      (void)comm.recv(0, make_tag(1, 0, 0));
+      clock1 = comm.virtual_seconds();
+    }
+  });
+  // Sender: 64 bytes * beta of injection. Receiver: idle until the arrival
+  // instant (sender clock + alpha).
+  EXPECT_DOUBLE_EQ(clock0, 64 * beta);
+  EXPECT_DOUBLE_EQ(clock1, 64 * beta + alpha);
+  EXPECT_DOUBLE_EQ(net.virtual_makespan(), 64 * beta + alpha);
+  EXPECT_DOUBLE_EQ(net.virtual_seconds(1), 64 * beta + alpha);
+}
+
+TEST(VirtualTime, SelfSendsAreFree) {
+  Network net(1, virtual_fabric());
+  run_spmd(net, [&](Comm& comm) {
+    comm.send(0, make_tag(1, 0, 0), std::vector<double>(1024, 0.0));
+    (void)comm.recv(0, make_tag(1, 0, 0));
+  });
+  EXPECT_DOUBLE_EQ(net.virtual_makespan(), 0.0);
+}
+
+TEST(VirtualTime, ChargeFlopsAdvancesTheClock) {
+  const double gamma = 1e-11;
+  Network net(2, virtual_fabric(1e-6, 1e-10, gamma));
+  run_spmd(net, [&](Comm& comm) { comm.charge_flops(1e9); });
+  EXPECT_DOUBLE_EQ(net.virtual_makespan(), 1e9 * gamma);
+  // Threaded mode: charge_flops is a no-op.
+  Network threaded(2);
+  run_spmd(threaded, [&](Comm& comm) { comm.charge_flops(1e9); });
+  EXPECT_DOUBLE_EQ(threaded.virtual_makespan(), 0.0);
+}
+
+TEST(VirtualTime, DeadlockIsDetectedAndReported) {
+  Network net(2, virtual_fabric());
+  EXPECT_THROW(run_spmd(net,
+                        [&](Comm& comm) {
+                          if (comm.rank() == 0)
+                            (void)comm.recv(1, make_tag(2, 0, 0));
+                        }),
+               ContractViolation);
+  // The fabric recovers: a subsequent run over the same network works.
+  run_spmd(net, [&](Comm& comm) {
+    if (comm.rank() == 0)
+      comm.send(1, make_tag(3, 0, 0), std::vector<double>{1.0});
+    else
+      (void)comm.recv(0, make_tag(3, 0, 0));
+  });
+}
+
+TEST(VirtualTime, RankExceptionPropagatesAndAborts) {
+  Network net(8, virtual_fabric());
+  EXPECT_THROW(run_spmd(net,
+                        [&](Comm& comm) {
+                          if (comm.rank() == 3)
+                            throw std::runtime_error("rank 3 failed");
+                          // Everyone else blocks on a message that never
+                          // comes; the abort must wake them.
+                          (void)comm.recv((comm.rank() + 1) % comm.size(),
+                                          make_tag(2, 1, 0));
+                        }),
+               std::runtime_error);
+}
+
+// --- collectives over fibers ------------------------------------------------
+
+TEST(VirtualTime, CollectivesRunAtScale) {
+  const int p = 256;
+  Network net(p, virtual_fabric());
+  std::vector<double> sums(static_cast<std::size_t>(p), 0.0);
+  run_spmd(net, [&](Comm& comm) {
+    const Group all = Group::iota(p);
+    std::vector<double> v{static_cast<double>(comm.rank() + 1)};
+    allreduce_sum(comm, all, v, make_tag(4, 0, 0));
+    sums[static_cast<std::size_t>(comm.rank())] = v[0];
+  });
+  const double expect = p * (p + 1) / 2.0;
+  for (int r = 0; r < p; ++r)
+    EXPECT_DOUBLE_EQ(sums[static_cast<std::size_t>(r)], expect) << "rank " << r;
+}
+
+// --- shared channel slots at P = 256 (satellite bugfix) ---------------------
+
+TEST(VirtualTime, SharedSlotFanInMatchesEverySourceAndTag) {
+  // 256 sources hash onto 64 channel slots: four sources share each slot of
+  // rank 0. Rank 0 drains them in *reverse* rank order so nearly every
+  // receive targets a slot holding several queued sources, exercising the
+  // targeted wakeup filter and (src, tag)-keyed matching under sharing.
+  const int p = 256;
+  Network net(p, virtual_fabric());
+  telemetry::TelemetryBoard board;
+  net.set_telemetry(&board);
+  ScopedEnv workers("CONFLUX_VT_WORKERS", "1");
+  run_spmd(net, [&](Comm& comm) {
+    const int r = comm.rank();
+    if (r != 0)
+      comm.send(0, make_tag(5, 7, r), std::vector<double>{r * 1.0, r * 2.0});
+    else
+      for (int src = p - 1; src >= 1; --src) {
+        const std::vector<double> got = comm.recv(src, make_tag(5, 7, src));
+        ASSERT_EQ(got.size(), 2u);
+        EXPECT_EQ(got[0], src * 1.0);
+        EXPECT_EQ(got[1], src * 2.0);
+      }
+  });
+  // Per-destination queue-depth high-water mark: with one worker, rank 0
+  // parks on rank 255 first, so all 255 messages are enqueued before the
+  // drain starts. The per-slot accounting this replaced could only ever
+  // report ~4 here (255 messages spread over 64 shared slots).
+  EXPECT_GE(board.queue_hwm(0), 255);
+  EXPECT_EQ(board.queue_hwm(1), 0);
+}
+
+TEST(ThreadedMode, SharedSlotQueueDepthIsPerDestination) {
+  // Same misattribution check for the threaded fabric, at a rank count
+  // small enough to run on OS threads but with slot sharing forced by
+  // fan-in volume: every rank sends 8 messages to rank 0 before it drains.
+  const int p = 16;
+  Network net(p);
+  telemetry::TelemetryBoard board;
+  net.set_telemetry(&board);
+  run_spmd(net, [&](Comm& comm) {
+    const int r = comm.rank();
+    const int kEach = 8;
+    if (r != 0) {
+      for (int i = 0; i < kEach; ++i)
+        comm.send(0, make_tag(6, i, r), std::vector<double>{1.0});
+      (void)comm.recv(0, make_tag(6, 99, r));  // hold until 0 saw them all
+    } else {
+      for (int src = 1; src < p; ++src)
+        for (int i = 0; i < kEach; ++i)
+          (void)comm.recv(src, make_tag(6, i, src));
+      for (int dst = 1; dst < p; ++dst)
+        comm.send(dst, make_tag(6, 99, dst), std::vector<double>{1.0});
+    }
+  });
+  // Messages to rank 0 only ever count against rank 0's depth.
+  EXPECT_GE(board.queue_hwm(0), 1);
+  for (int r = 1; r < p; ++r) EXPECT_LE(board.queue_hwm(r), 1) << "rank " << r;
+}
+
+// --- determinism (satellite test task) --------------------------------------
+
+struct RunResult {
+  double makespan = 0;
+  CommVolume total;
+  std::vector<std::uint64_t> rank_bytes;
+};
+
+/// A traffic pattern with fan-in, fan-out, multicast and collectives —
+/// enough structure that a scheduling-order dependence would show up in
+/// the clocks.
+RunResult traffic_mix_run(int p) {
+  Network net(p, virtual_fabric(1.7e-6, 2.3e-10));
+  run_spmd(net, [&](Comm& comm) {
+    const int r = comm.rank();
+    const int peer = (r * 7 + 3) % p;
+    comm.send(peer, make_tag(1, 0, r), std::vector<double>(16, r * 1.0));
+    for (int src = 0; src < p; ++src)
+      if ((src * 7 + 3) % p == r) (void)comm.recv(src, make_tag(1, 0, src));
+    if (r == 0) {
+      std::vector<int> dsts;
+      for (int d = 1; d < p; ++d) dsts.push_back(d);
+      comm.multicast(dsts, make_tag(1, 1, 0),
+                     make_shared_buffer(std::vector<double>(32, 1.0)));
+    } else {
+      (void)comm.recv_view(0, make_tag(1, 1, 0));
+    }
+    comm.charge_flops(0);  // exercise the call on the hot path
+  });
+  RunResult res;
+  res.makespan = net.virtual_makespan();
+  res.total = net.stats().total();
+  for (int r = 0; r < p; ++r)
+    res.rank_bytes.push_back(net.stats().rank_volume(r).bytes_sent);
+  return res;
+}
+
+void expect_bit_identical(const RunResult& a, const RunResult& b,
+                          const char* what) {
+  // Bit-level comparison: the determinism contract is exact, not approximate.
+  EXPECT_EQ(std::memcmp(&a.makespan, &b.makespan, sizeof(double)), 0)
+      << what << ": makespan " << a.makespan << " vs " << b.makespan;
+  EXPECT_EQ(a.total.bytes_sent, b.total.bytes_sent) << what;
+  EXPECT_EQ(a.total.messages_sent, b.total.messages_sent) << what;
+  EXPECT_EQ(a.rank_bytes, b.rank_bytes) << what;
+}
+
+TEST(VirtualTimeDeterminism, RepeatedRunsAreBitIdentical) {
+  const RunResult first = traffic_mix_run(96);
+  for (int i = 0; i < 3; ++i)
+    expect_bit_identical(first, traffic_mix_run(96), "repeat");
+}
+
+TEST(VirtualTimeDeterminism, WorkerCountDoesNotChangeResults) {
+  RunResult base;
+  {
+    ScopedEnv workers("CONFLUX_VT_WORKERS", "1");
+    base = traffic_mix_run(96);
+  }
+  {
+    ScopedEnv workers("CONFLUX_VT_WORKERS", "4");
+    expect_bit_identical(base, traffic_mix_run(96), "4 workers");
+  }
+  // Hardware default (no override).
+  expect_bit_identical(base, traffic_mix_run(96), "default workers");
+}
+
+// --- threaded-mode parity (acceptance criterion) ----------------------------
+
+TEST(VirtualTime, CommVolumeMatchesThreadedModeBitForBit) {
+  const int p = 32;
+  const auto body = [p](Comm& comm) {
+    const int r = comm.rank();
+    comm.send((r + 5) % p, make_tag(2, 0, r), std::vector<double>(r + 1, 1.0));
+    (void)comm.recv((r + p - 5) % p, make_tag(2, 0, (r + p - 5) % p));
+    const Group all = Group::iota(p);
+    std::vector<double> v{1.0};
+    allreduce_sum(comm, all, v, make_tag(2, 1, 0));
+  };
+
+  Network threaded(p);
+  run_spmd(threaded, body);
+  Network vt(p, virtual_fabric());
+  run_spmd(vt, body);
+
+  EXPECT_EQ(threaded.stats().total().bytes_sent, vt.stats().total().bytes_sent);
+  EXPECT_EQ(threaded.stats().total().messages_sent, vt.stats().total().messages_sent);
+  for (int r = 0; r < p; ++r) {
+    const CommVolume a = threaded.stats().rank_volume(r);
+    const CommVolume b = vt.stats().rank_volume(r);
+    EXPECT_EQ(a.bytes_sent, b.bytes_sent) << "rank " << r;
+    EXPECT_EQ(a.bytes_received, b.bytes_received) << "rank " << r;
+    EXPECT_EQ(a.messages_sent, b.messages_sent) << "rank " << r;
+    EXPECT_EQ(a.messages_received, b.messages_received) << "rank " << r;
+  }
+}
+
+// --- virtual timestamps in telemetry ----------------------------------------
+
+TEST(VirtualTime, TelemetrySpansCarryVirtualTimestamps) {
+  const double alpha = 1e-6;
+  const double beta = 1e-9;
+  Network net(2, virtual_fabric(alpha, beta));
+  telemetry::TelemetryBoard board;
+  net.set_telemetry(&board);
+  EXPECT_TRUE(board.virtual_clock());
+  run_spmd(net, [&](Comm& comm) {
+    telemetry::ScopedSpan span(&board, comm.rank(), "exchange");
+    if (comm.rank() == 0)
+      comm.send(1, make_tag(1, 0, 0), std::vector<double>(128, 0.0));
+    else
+      (void)comm.recv(0, make_tag(1, 0, 0));
+  });
+  // Rank 1's span closes at its post-receive virtual clock, not at a few
+  // microseconds of host time.
+  const auto& spans = board.rank_spans(1);
+  ASSERT_EQ(spans.size(), 1u);
+  const auto expect_ns =
+      static_cast<std::uint64_t>((1024 * beta + alpha) * 1e9);
+  EXPECT_EQ(spans[0].end_ns, expect_ns);
+  // The receive recorded a virtual-time wait sample of the blocked interval.
+  const auto& waits = board.rank_waits(1);
+  ASSERT_EQ(waits.size(), 1u);
+  EXPECT_EQ(waits[0].begin_ns, 0u);
+  EXPECT_EQ(waits[0].ns, expect_ns);
+}
+
+}  // namespace
+}  // namespace conflux::simnet

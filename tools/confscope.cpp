@@ -39,6 +39,7 @@
 #include "linalg/generate.hpp"
 #include "lu/lu_common.hpp"
 #include "models/cost_model.hpp"
+#include "models/machines.hpp"
 #include "models/phase_model.hpp"
 #include "simnet/trace.hpp"
 #include "support/json_writer.hpp"
@@ -58,6 +59,8 @@ struct Options {
   bool all = false;
   bool list = false;
   bool numeric = false;
+  bool virtual_time = false;      ///< --virtual: LogGP fiber fabric
+  std::string machine = "Piz Daint";  ///< --machine= LogGP preset
   bool check_volume = false;
   double band = 1.1;
   int n = 256;
@@ -85,6 +88,7 @@ void print_usage(std::ostream& os) {
         "[--family=LU|Cholesky]\n"
         "                 [--n=N] [--p=P] [--layers=C] [--block=V] "
         "[--numeric]\n"
+        "                 [--virtual] [--machine=NAME]\n"
         "                 [--trace=FILE] [--json=FILE] [--check-volume]\n"
         "                 [--band=X] [--list] [--help]\n"
         "\n"
@@ -100,6 +104,11 @@ void print_usage(std::ostream& os) {
         "  --layers=C     force the 2.5D replication depth (0 = auto)\n"
         "  --block=V      force the block size (0 = auto)\n"
         "  --numeric      numeric run instead of the default dry run\n"
+        "  --virtual      run on the virtual-time fabric (cooperative\n"
+        "                 fibers + LogGP clock): spans, waits, the trace\n"
+        "                 and the critical path are in *predicted* seconds\n"
+        "  --machine=NAME LogGP preset for --virtual (default Piz Daint;\n"
+        "                 see models/machines.hpp)\n"
         "  --trace=FILE   write a merged Chrome-trace/Perfetto JSON file\n"
         "                 (one process per backend, one thread per rank)\n"
         "  --json=FILE    write the machine-readable profile report\n"
@@ -151,6 +160,14 @@ Profile profile_backend(const Backend& backend, const Options& opt) {
   base.verify = opt.numeric;
   base.trace = &trace;
   base.telemetry = out.board.get();
+  if (opt.virtual_time) {
+    const conflux::models::Machine m =
+        conflux::models::machine_by_name(opt.machine);
+    base.fabric.mode = conflux::simnet::ExecMode::VirtualTime;
+    base.fabric.link.alpha_s = m.alpha_s;
+    base.fabric.link.beta_s_per_byte = m.beta_s_per_byte;
+    base.fabric.link.gamma_s_per_flop = m.gamma_s_per_flop;
+  }
 
   if (backend.family == "LU") {
     conflux::lu::LuConfig cfg;
@@ -270,6 +287,9 @@ void print_profile(const Profile& prof, const Options& opt, bool* volume_ok) {
     blocked += board.blocked_seconds(r);
     hwm = std::max(hwm, board.queue_hwm(r));
   }
+  if (prof.run.predicted_seconds > 0)
+    std::cout << "  predicted makespan " << fmt(prof.run.predicted_seconds, 4)
+              << " s (virtual time)\n";
   std::cout << "  wall " << fmt(board.wall_seconds(), 4) << " s, busy "
             << fmt(busy, 4) << " s, blocked " << fmt(blocked, 4)
             << " s (summed over " << board.nranks()
@@ -314,6 +334,8 @@ void write_json(std::ostream& os, const std::vector<Profile>& profiles,
     w.kv("block", prof.run.block);
     w.kv("seconds", prof.run.seconds);
     w.kv("wall_seconds", board.wall_seconds());
+    if (prof.run.predicted_seconds > 0)
+      w.kv("predicted_seconds", prof.run.predicted_seconds);
     w.kv("total_bytes", prof.run.total.bytes_sent);
     w.kv("messages_sent", prof.run.total.messages_sent);
     w.kv("messages_received", prof.run.total.messages_received);
@@ -372,6 +394,8 @@ int main(int argc, char** argv) {
         opt.list = true;
       else if (arg == "--numeric")
         opt.numeric = true;
+      else if (arg == "--virtual")
+        opt.virtual_time = true;
       else if (arg == "--check-volume")
         opt.check_volume = true;
       else if (arg == "--help" || arg == "-h") {
@@ -381,6 +405,8 @@ int main(int argc, char** argv) {
         opt.algos = parse_name_list(arg.substr(7));
       else if (arg.rfind("--family=", 0) == 0)
         opt.family = arg.substr(9);
+      else if (arg.rfind("--machine=", 0) == 0)
+        opt.machine = arg.substr(10);
       else if (arg.rfind("--n=", 0) == 0)
         opt.n = std::stoi(arg.substr(4));
       else if (arg.rfind("--p=", 0) == 0)

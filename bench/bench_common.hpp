@@ -5,10 +5,12 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -65,6 +67,7 @@ inline lu::LuResult run_dry_virtual(const std::string& algo, int n, int p,
 /// and `-p P[,P...]` (override the --virtual rank sweep).
 struct BenchArgs {
   std::string json_path;   ///< empty = no JSON summary
+  bool json_defaulted = false;  ///< json_path came from bare `--json`
   std::string trace_path;  ///< empty = no Chrome trace
   bool virtual_mode = false;      ///< --virtual: LogGP fiber sweep
   std::string machine = "Piz Daint";  ///< --machine= preset name
@@ -76,22 +79,38 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json")
+    if (arg == "--json") {
       args.json_path = default_json;
-    else if (arg.rfind("--json=", 0) == 0)
+      args.json_defaulted = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
       args.json_path = arg.substr(7);
-    else if (arg.rfind("--trace=", 0) == 0)
+      args.json_defaulted = false;
+    } else if (arg.rfind("--trace=", 0) == 0)
       args.trace_path = arg.substr(8);
     else if (arg == "--virtual")
       args.virtual_mode = true;
     else if (arg.rfind("--machine=", 0) == 0)
       args.machine = arg.substr(10);
     else if (arg == "-p" && i + 1 < argc) {
-      std::string list = argv[++i];
-      for (std::size_t pos = 0; pos < list.size();) {
+      const std::string list = argv[++i];
+      for (std::size_t pos = 0; pos <= list.size();) {
         std::size_t comma = list.find(',', pos);
         if (comma == std::string::npos) comma = list.size();
-        args.ps.push_back(std::stoi(list.substr(pos, comma - pos)));
+        const std::string tok = list.substr(pos, comma - pos);
+        int p = 0;
+        try {
+          std::size_t used = 0;
+          p = std::stoi(tok, &used);
+          if (used != tok.size()) p = 0;
+        } catch (const std::exception&) {
+          p = 0;
+        }
+        if (p < 1) {
+          std::cerr << "bad -p list '" << list
+                    << "': expected comma-separated integers >= 1\n";
+          std::exit(2);
+        }
+        args.ps.push_back(p);
         pos = comma + 1;
       }
     }

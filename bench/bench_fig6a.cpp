@@ -27,8 +27,9 @@ int main(int argc, char** argv) {
 
   BenchArgs args = parse_bench_args(argc, argv, "BENCH_simnet.json");
   if (args.virtual_mode) {
-    if (args.json_path == "BENCH_simnet.json")
-      args.json_path = "BENCH_virtual.json";
+    // Bare `--json` means "the mode's default file"; an explicit
+    // `--json=path` is honoured as given.
+    if (args.json_defaulted) args.json_path = "BENCH_virtual.json";
     BenchTrace trace(args.trace_path);
     std::cout << "== Figure 6a (virtual time): predicted wall clock vs P "
                  "(N = "

@@ -260,10 +260,11 @@ void VtRuntime::fiber_main(RankCtx& c) {
   }
   c.phase = RankCtx::Phase::Done;
   // Hand control back to the worker for the last time. The context saved
-  // into c.uc here is never resumed; the next run re-creates it.
+  // into c.uc here is never resumed; the next run re-creates it. Passing
+  // nullptr for the fake-stack save slot tells ASan the fiber is dying so
+  // it releases the fiber's fake stack instead of keeping it live.
 #if defined(CONFLUX_VT_ASAN)
-  __sanitizer_start_switch_fiber(&c.fake_stack, c.worker_bottom,
-                                 c.worker_size);
+  __sanitizer_start_switch_fiber(nullptr, c.worker_bottom, c.worker_size);
 #endif
 #if defined(CONFLUX_VT_TSAN)
   __tsan_switch_to_fiber(c.return_tsan, 0);
@@ -369,14 +370,19 @@ void VtRuntime::worker_loop() {
     RankCtx& c = *im.ranks[static_cast<std::size_t>(rank)];
     c.phase = RankCtx::Phase::Running;
     resume(c);
-    // The fiber suspended: either it wants to park or it finished.
-    if (c.phase == RankCtx::Phase::Blocking) finish_park(c);
+    // The fiber suspended: either it wants to park or it finished. Capture
+    // the phase now, while only this worker touches c — finish_park() may
+    // re-enqueue the fiber, after which another worker can resume it and
+    // rewrite c.phase concurrently, so it must not be re-read below.
+    const RankCtx::Phase suspended = c.phase;
+    const bool done = suspended == RankCtx::Phase::Done;
+    if (suspended == RankCtx::Phase::Blocking) finish_park(c);
     bool all_done = false;
     bool deadlock = false;
     {
       const std::lock_guard<std::mutex> lock(im.ready_mutex);
       --im.running;
-      if (c.phase == RankCtx::Phase::Done) ++im.finished;
+      if (done) ++im.finished;
       if (im.finished == nranks_) {
         im.stop = true;
         all_done = true;

@@ -14,6 +14,9 @@
 #  4. No malformed Doxygen member markers: a bare `/<` (a typo for the
 #     `///<` trailing-comment marker) renders as literal noise in the docs
 #     and silently drops the comment from the generated output.
+#  5. No stale CTest labels: every `ctest ... -L <label>` (or -LE) a
+#     Markdown file mentions must be a label CMakeLists.txt actually
+#     assigns, so docs cannot advertise a renamed or removed test wall.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 fail=0
@@ -90,7 +93,20 @@ while IFS= read -r f; do
 done < <(find src tests bench tools examples \
          \( -name '*.hpp' -o -name '*.cpp' \) -print | sort)
 
+# --- 5: stale CTest label references -----------------------------------------
+# Labels CMakeLists.txt assigns, via `LABELS <name>` in set_tests_properties.
+known_labels=$(grep -oE 'LABELS [a-z]+' CMakeLists.txt | awk '{print $2}' | sort -u)
+while IFS= read -r md; do
+  while IFS= read -r label; do
+    if ! grep -qxF -- "$label" <<<"$known_labels"; then
+      echo "error: $md mentions ctest label '$label', not assigned in CMakeLists.txt" >&2
+      fail=1
+    fi
+  done < <(grep -oE 'ctest[^`)]* -LE? [a-z]+' "$md" |
+           grep -oE '\-LE? [a-z]+$' | awk '{print $2}' | sort -u)
+done < <(find . -name build -prune -o -name '*.md' -print | sort)
+
 if [ "$fail" -eq 0 ]; then
-  echo "docs lint OK: src headers carry \\file comments, intra-repo links resolve, documented CLI flags exist, no malformed '/<' Doxygen markers"
+  echo "docs lint OK: src headers carry \\file comments, intra-repo links resolve, documented CLI flags exist, no malformed '/<' Doxygen markers, documented ctest labels exist"
 fi
 exit "$fail"

@@ -444,8 +444,7 @@ CholResult Confchox25D::run(const linalg::Matrix* a, const CholConfig& cfg) {
   std::atomic<bool> not_spd{false};
 
   simnet::Network net(plan.active, cfg.fabric);
-  if (cfg.trace != nullptr) net.set_trace(cfg.trace);
-  if (cfg.telemetry != nullptr) net.set_telemetry(cfg.telemetry);
+  factor::attach_instruments(net, cfg);
   plan.tel = cfg.telemetry;
   const simnet::Group world = simnet::Group::iota(plan.active);
 

@@ -263,8 +263,7 @@ CholResult Scalapack2DCholesky::run(const linalg::Matrix* a,
   }
 
   simnet::Network net(g.active(), cfg.fabric);
-  if (cfg.trace != nullptr) net.set_trace(cfg.trace);
-  if (cfg.telemetry != nullptr) net.set_telemetry(cfg.telemetry);
+  factor::attach_instruments(net, cfg);
   Stopwatch timer;
   simnet::run_spmd(net,
                    [&](simnet::Comm& comm) { cholesky2d_body(comm, params); });

@@ -13,4 +13,12 @@ void fill_comm_stats(FactorResult& result, const simnet::Network& net,
   result.predicted_seconds = net.virtual_makespan();
 }
 
+void attach_instruments(simnet::Network& net, const FactorConfig& cfg) {
+  if (cfg.trace != nullptr) net.set_trace(cfg.trace);
+  if (cfg.telemetry != nullptr) net.set_telemetry(cfg.telemetry);
+  if (cfg.faults != nullptr) net.set_faults(cfg.faults);
+  net.set_integrity(cfg.integrity);
+  net.set_policy(cfg.policy);
+}
+
 }  // namespace conflux::factor

@@ -18,8 +18,10 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "linalg/matrix.hpp"
+#include "simnet/faults.hpp"
 #include "simnet/stats.hpp"
 #include "simnet/vtime.hpp"
 
@@ -85,6 +87,23 @@ struct FactorConfig {
   /// (src, tag) wait samples. Null (the default) costs nothing on the hot
   /// path.
   telemetry::TelemetryBoard* telemetry = nullptr;
+
+  /// Optional ConfChaos fault plan (simnet/faults.hpp), mirroring the
+  /// `trace`/`telemetry` hooks: when set, the run's Network attaches this
+  /// plan and every remote message consults it for seeded link delays,
+  /// rank stalls and payload bit-flips. Null (the default) costs nothing.
+  simnet::FaultPlan* faults = nullptr;
+
+  /// End-to-end payload integrity: stamp every payload with its FNV-1a
+  /// fingerprint at deliver time and verify it at receive time, raising
+  /// simnet::PayloadCorrupted instead of silently misfactoring. Off by
+  /// default (zero hot-path cost).
+  bool integrity = false;
+
+  /// Containment policy for the run's fabric: receive deadlines (Threaded)
+  /// and the virtual-clock cap (VirtualTime). All-zero (the default) waits
+  /// forever, exactly as before ConfChaos.
+  simnet::RunPolicy policy;
 };
 
 /// The common part of one factorization run's result. Derived result types
@@ -104,6 +123,14 @@ struct FactorResult {
   /// modeled machine — the maximum per-rank LogGP clock at the join. 0 for
   /// threaded runs.
   double predicted_seconds = 0;
+
+  /// Recovery accounting (factor/retry.hpp). attempts counts runs
+  /// including the successful one; failure_causes holds the what() of each
+  /// failed attempt in order; backoff_seconds sums the inter-attempt
+  /// backoff (real or virtual). A first-try success is {1, {}, 0}.
+  int attempts = 1;
+  std::vector<std::string> failure_causes;
+  double backoff_seconds = 0;
 
   /// Factors retained by a numeric run with cfg.keep_factors. Packing is
   /// family-specific: LU stores L below the diagonal and U on/above it in
@@ -140,5 +167,11 @@ class Factorization {
 /// reported metrics stay directly comparable.
 void fill_comm_stats(FactorResult& result, const simnet::Network& net,
                      int ranks_used, int ranks_available);
+
+/// Attach every configured instrument to a run's fresh Network: trace,
+/// telemetry, fault plan, integrity mode and containment policy. Every
+/// backend calls this right after constructing its Network, so a new hook
+/// added here reaches all seven algorithms at once.
+void attach_instruments(simnet::Network& net, const FactorConfig& cfg);
 
 }  // namespace conflux::factor

@@ -1,0 +1,18 @@
+#include "factor/retry.hpp"
+
+#include "simnet/network.hpp"
+
+namespace conflux::factor {
+
+bool is_transient_failure(const std::exception& e) {
+  if (const auto* timeout = dynamic_cast<const simnet::ReceiveTimeout*>(&e))
+    return !timeout->deadlock();
+  if (dynamic_cast<const simnet::PayloadCorrupted*>(&e) != nullptr)
+    return true;
+  // JobAborted reaching the caller means the aborting rank's own exception
+  // was swallowed somewhere unusual; treat like the peer failure it is.
+  if (dynamic_cast<const simnet::JobAborted*>(&e) != nullptr) return true;
+  return false;
+}
+
+}  // namespace conflux::factor

@@ -811,8 +811,7 @@ LuResult run_block25d(const linalg::Matrix* a, const LuConfig& cfg,
   }
 
   simnet::Network net(plan.active, cfg.fabric);
-  if (cfg.trace != nullptr) net.set_trace(cfg.trace);
-  if (cfg.telemetry != nullptr) net.set_telemetry(cfg.telemetry);
+  factor::attach_instruments(net, cfg);
   plan.tel = cfg.telemetry;
   const simnet::Group world = simnet::Group::iota(plan.active);
 

@@ -45,8 +45,7 @@ LuResult Candmc25D::run(const linalg::Matrix* a, const LuConfig& cfg) {
   if (gather) gathered = linalg::Matrix(cfg.n, cfg.n);
 
   simnet::Network net(active, cfg.fabric);
-  if (cfg.trace != nullptr) net.set_trace(cfg.trace);
-  if (cfg.telemetry != nullptr) net.set_telemetry(cfg.telemetry);
+  factor::attach_instruments(net, cfg);
   Stopwatch timer;
   simnet::run_spmd(net, [&](simnet::Comm& comm) {
     const int layer = comm.rank() / face.active();

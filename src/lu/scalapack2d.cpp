@@ -508,8 +508,7 @@ LuResult ScaLapack2D::run(const linalg::Matrix* a, const LuConfig& cfg) {
   }
 
   simnet::Network net(g.active(), cfg.fabric);
-  if (cfg.trace != nullptr) net.set_trace(cfg.trace);
-  if (cfg.telemetry != nullptr) net.set_telemetry(cfg.telemetry);
+  factor::attach_instruments(net, cfg);
   Stopwatch timer;
   simnet::run_spmd(net,
                    [&](simnet::Comm& comm) { scalapack2d_body(comm, params); });

@@ -1,6 +1,8 @@
 #include "simnet/network.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstring>
 
 #include "support/assert.hpp"
 #include "support/telemetry.hpp"
@@ -8,6 +10,32 @@
 namespace conflux::simnet {
 
 namespace {
+
+/// Flip one bit of a payload (injected corruption). Exclusive payloads are
+/// flipped in place; shared payloads are cloned first so only the targeted
+/// recipient sees the corruption — the other members of a multicast alias
+/// the pristine original, exactly like a per-link transmission error.
+void flip_payload_bit(Message& msg, std::uint64_t bit) {
+  auto flip = [bit](std::vector<double>& data) {
+    if (data.empty()) return;
+    double& word = data[static_cast<std::size_t>((bit / 64) % data.size())];
+    std::uint64_t bits;
+    std::memcpy(&bits, &word, sizeof(bits));
+    bits ^= std::uint64_t{1} << (bit % 64);
+    std::memcpy(&word, &bits, sizeof(bits));
+  };
+  if (msg.shared) {
+    auto clone = std::make_shared<std::vector<double>>(*msg.shared);
+    flip(*clone);
+    msg.shared = std::move(clone);
+  } else {
+    flip(msg.exclusive);
+  }
+}
+
+[[nodiscard]] std::size_t payload_doubles(const Message& msg) {
+  return msg.shared ? msg.shared->size() : msg.exclusive.size();
+}
 
 /// Beyond this many sources, channel slots are shared (src % slots). Only
 /// the destination thread waits on a slot, so sharing never adds waiters —
@@ -90,27 +118,66 @@ void Network::set_telemetry(telemetry::TelemetryBoard* board) {
                  std::memory_order_relaxed);
 }
 
-void Network::deliver(int src, int dst, Tag tag, Message msg) {
-  CONFLUX_EXPECTS_CTX(src >= 0 && src < size() && dst >= 0 && dst < size(),
-                      (CommContext{.src = src, .dst = dst}.with_tag(tag)));
-  stats_.record_send(src, dst, msg.logical_bytes);
+void Network::set_faults(FaultPlan* plan) {
+  faults_ = plan;
+  if (faults_ != nullptr) faults_->reset(nranks_);
+}
+
+/// Stamp the payload's FNV-1a fingerprint into the message. Shared payloads
+/// are stamped whenever a trace is attached (the in-flight-mutation lint)
+/// or integrity mode is on; exclusive payloads only under integrity mode,
+/// where the stamp becomes a first-class end-to-end checksum.
+void Network::stamp_fingerprint(Message& msg) const {
+  if (msg.shared) {
+    if (trace_ != nullptr || integrity_) {
+      msg.fingerprint = payload_fingerprint(msg.shared);
+      if (msg.fingerprint == 0) msg.fingerprint = 1;  // 0 means unstamped
+    }
+  } else if (integrity_ && !msg.exclusive.empty()) {
+    msg.fingerprint =
+        payload_fingerprint(std::span<const double>(msg.exclusive));
+    if (msg.fingerprint == 0) msg.fingerprint = 1;
+  }
+}
+
+/// Consult the fault plan for this remote message and apply the verdict:
+/// corruption flips a payload bit (after stamping, so the receiver's
+/// integrity check sees the mismatch); stalls and delays become virtual-
+/// clock charges in VirtualTime mode, or a real sender sleep plus a
+/// delivery-ripeness timestamp in Threaded mode. Also performs the LogGP
+/// send charge, so injected chaos is makespan-visible in virtual time.
+void Network::apply_injection(int src, int dst, Tag tag, Message& msg) {
+  FaultPlan::Injection inj;
+  if (faults_ != nullptr && src != dst)
+    inj = faults_->at_delivery(src, dst, tag, payload_doubles(msg));
+  if (inj.corrupt) flip_payload_bit(msg, inj.corrupt_bit);
   if (vt_ != nullptr) {
     // Charge the LogGP injection cost before the telemetry/trace records
     // so their timestamps reflect the post-send clock. Self-sends are free
     // (matching the StatsBoard accounting exemption).
+    if (inj.stall_s > 0) vt_->charge_seconds(src, inj.stall_s);
     msg.vt_arrival = (src != dst)
-                         ? vt_->charge_send(src, msg.logical_bytes)
+                         ? vt_->charge_send(src, msg.logical_bytes) +
+                               inj.delay_s
                          : vt_->clock_seconds(src);
+  } else {
+    if (inj.stall_s > 0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(inj.stall_s));
+    if (inj.delay_s > 0)
+      msg.not_before_ns =
+          telemetry::now_ns() + static_cast<std::uint64_t>(inj.delay_s * 1e9);
   }
+}
+
+void Network::deliver(int src, int dst, Tag tag, Message msg) {
+  CONFLUX_EXPECTS_CTX(src >= 0 && src < size() && dst >= 0 && dst < size(),
+                      (CommContext{.src = src, .dst = dst}.with_tag(tag)));
+  stats_.record_send(src, dst, msg.logical_bytes);
+  stamp_fingerprint(msg);
+  apply_injection(src, dst, tag, msg);
   if (telemetry_ != nullptr && src != dst)
     telemetry_->add_bytes(src, msg.logical_bytes);
-  if (trace_ != nullptr) {
-    trace_->record_send(src, dst, tag, msg.logical_bytes);
-    if (msg.shared) {
-      msg.fingerprint = payload_fingerprint(msg.shared);
-      if (msg.fingerprint == 0) msg.fingerprint = 1;  // 0 means unstamped
-    }
-  }
+  if (trace_ != nullptr) trace_->record_send(src, dst, tag, msg.logical_bytes);
   enqueue(dst, src, tag, std::move(msg));
 }
 
@@ -119,7 +186,7 @@ void Network::multicast(int src, std::span<const int> dsts, Tag tag,
   CONFLUX_EXPECTS_CTX(src >= 0 && src < size(),
                       (CommContext{.src = src}.with_tag(tag)));
   std::uint64_t fingerprint = 0;
-  if (trace_ != nullptr && payload) {
+  if ((trace_ != nullptr || integrity_) && payload) {
     fingerprint = payload_fingerprint(payload);
     if (fingerprint == 0) fingerprint = 1;
   }
@@ -128,12 +195,10 @@ void Network::multicast(int src, std::span<const int> dsts, Tag tag,
                         (CommContext{.src = src, .dst = dst}.with_tag(tag)));
     stats_.record_send(src, dst, logical_bytes);
     Message msg{payload, {}, logical_bytes, fingerprint, 0};
-    if (vt_ != nullptr) {
-      // Each destination pays its own injection charge: a P-way multicast
-      // costs the sender P sequential sends, exactly like the accounting.
-      msg.vt_arrival = (src != dst) ? vt_->charge_send(src, logical_bytes)
-                                    : vt_->clock_seconds(src);
-    }
+    // Each destination gets its own injection verdict (and pays its own
+    // LogGP charge in virtual time): a P-way multicast is P sends, and a
+    // corrupted copy reaches only its targeted recipient.
+    apply_injection(src, dst, tag, msg);
     if (telemetry_ != nullptr && src != dst)
       telemetry_->add_bytes(src, logical_bytes);
     if (trace_ != nullptr)
@@ -158,6 +223,66 @@ void Network::check_fingerprint(int me, int src, Tag tag, const Message& m) {
   }
 }
 
+/// End-to-end integrity verification (Network::set_integrity): recompute
+/// the payload fingerprint on the receiver and compare against the stamp
+/// from deliver time. Runs before the trace's mutation lint, so injected
+/// corruption surfaces as the typed PayloadCorrupted, never as a
+/// ContractViolation from the lint.
+void Network::check_integrity(int me, int src, Tag tag,
+                              const Message& m) const {
+  if (!integrity_ || m.fingerprint == 0) return;
+  std::uint64_t fp = m.shared
+                         ? payload_fingerprint(m.shared)
+                         : payload_fingerprint(
+                               std::span<const double>(m.exclusive));
+  if (fp == 0) fp = 1;
+  if (fp != m.fingerprint) {
+    const CommContext ctx =
+        CommContext{.rank = me, .src = src, .dst = me}.with_tag(tag);
+    std::ostringstream os;
+    os << "payload integrity violation: end-to-end fingerprint mismatch at "
+          "receive "
+       << ctx << " (" << payload_doubles(m) << " doubles, "
+       << m.logical_bytes << " wire bytes)";
+    throw PayloadCorrupted(os.str(), ctx);
+  }
+}
+
+/// Every rank currently parked in a blocking receive. Threaded mode scans
+/// the channel slots (each guarded by its own mutex — the caller must hold
+/// none of them); virtual-time mode asks the fiber runtime.
+std::vector<ParkedRank> Network::parked_snapshot() {
+  if (vt_ != nullptr) return vt_->parked_snapshot();
+  std::vector<ParkedRank> out;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    Channel& ch = channels_[i];
+    const std::lock_guard<std::mutex> lock(ch.mutex);
+    if (ch.waiting)
+      out.push_back({static_cast<int>(i / slots_per_rank_), ch.waiting_src,
+                     ch.waiting_tag});
+  }
+  return out;
+}
+
+/// Build and throw the located timeout diagnostic for a receive that
+/// exceeded the run policy's deadline. Must be called with no channel
+/// mutex held (the parked snapshot takes them all in turn).
+void Network::throw_receive_timeout(int me, int src, Tag tag,
+                                    double waited_s) {
+  std::vector<ParkedRank> parked = parked_snapshot();
+  const CommContext ctx =
+      CommContext{.rank = me, .src = src, .dst = me}.with_tag(tag);
+  std::ostringstream os;
+  os << "receive deadline exceeded after " << waited_s << " s " << ctx
+     << ": no matching message from rank " << src << "; " << parked.size()
+     << " other rank(s) parked in receives; inbound queue-depth HWM for "
+        "rank "
+     << me << " = "
+     << inbound_[static_cast<std::size_t>(me)].hwm.load(
+            std::memory_order_relaxed);
+  throw ReceiveTimeout(os.str(), ctx, std::move(parked), /*deadlock=*/false);
+}
+
 Message Network::receive(int me, int src, Tag tag) {
   CONFLUX_EXPECTS_CTX(me >= 0 && me < size() && src >= 0 && src < size(),
                       (CommContext{.rank = me, .src = src, .dst = me}
@@ -171,10 +296,22 @@ Message Network::receive(int me, int src, Tag tag) {
   // fast path stays within a few percent of the disabled one.
   std::uint64_t wait_begin = 0;
 
-  auto try_pop = [&](Message& out) {
+  // Pop the head of the matching queue if it exists *and is ripe*: a
+  // fault-injected link delay stamps a not-before instant, and FIFO order
+  // within the channel must hold, so an unripe head means "nothing yet"
+  // (ripe_at reports when to re-check).
+  auto try_pop = [&](Message& out, std::uint64_t* ripe_at) {
     const auto it = ch.queues.find(key);
     if (it == ch.queues.end() || it->second.empty()) return false;
-    out = std::move(it->second.front());
+    Message& front = it->second.front();
+    if (front.not_before_ns != 0) {
+      const std::uint64_t now = telemetry::now_ns();
+      if (now < front.not_before_ns) {
+        if (ripe_at != nullptr) *ripe_at = front.not_before_ns;
+        return false;
+      }
+    }
+    out = std::move(front);
     it->second.pop_front();
     if (it->second.empty()) ch.queues.erase(it);
     inbound_[static_cast<std::size_t>(me)].depth.fetch_sub(
@@ -183,15 +320,16 @@ Message Network::receive(int me, int src, Tag tag) {
   };
 
   // Runs on the receiver's thread once a message has been matched: counts
-  // the receive, attributes the time parked here to (src, tag), logs the
-  // Recv event in program order and re-checks the shared-payload
-  // fingerprint stamped at deliver time (in-flight mutation lint).
+  // the receive, attributes the time parked here to (src, tag), verifies
+  // end-to-end integrity, logs the Recv event in program order and
+  // re-checks the shared-payload fingerprint (in-flight mutation lint).
   auto finish = [&](Message&& m) -> Message {
     stats_.record_recv(me, src);
     if (telemetry_ != nullptr)
       telemetry_->record_wait(
           me, src, tag, wait_begin,
           wait_begin != 0 ? telemetry::now_ns() : 0, m.logical_bytes);
+    check_integrity(me, src, tag, m);
     if (trace_ != nullptr) {
       trace_->record_recv(me, src, tag, m.logical_bytes);
       check_fingerprint(me, src, tag, m);
@@ -203,7 +341,8 @@ Message Network::receive(int me, int src, Tag tag) {
   // Clock-free first probe: the common already-delivered case.
   {
     std::unique_lock<std::mutex> lock(ch.mutex, std::try_to_lock);
-    if (lock.owns_lock() && try_pop(msg)) return finish(std::move(msg));
+    if (lock.owns_lock() && try_pop(msg, nullptr))
+      return finish(std::move(msg));
   }
   if (telemetry_ != nullptr) wait_begin = telemetry::now_ns();
 
@@ -212,24 +351,63 @@ Message Network::receive(int me, int src, Tag tag) {
   for (int i = 0; i < spin_iters_; ++i) {
     {
       std::unique_lock<std::mutex> lock(ch.mutex, std::try_to_lock);
-      if (lock.owns_lock() && try_pop(msg)) return finish(std::move(msg));
+      if (lock.owns_lock() && try_pop(msg, nullptr))
+        return finish(std::move(msg));
     }
     if (aborted()) throw JobAborted{};
     cpu_pause();
   }
 
-  std::unique_lock<std::mutex> lock(ch.mutex);
-  for (;;) {
-    if (aborted()) throw JobAborted{};
-    if (try_pop(msg)) {
-      ch.waiting = false;
-      return finish(std::move(msg));
+  const bool deadline_on = policy_.deadline_s > 0;
+  const double heartbeat_s = std::max(policy_.heartbeat_s, 1e-3);
+  std::uint64_t entered_ns = 0;  ///< stamped lazily on the first miss
+  double waited_s = 0;
+  bool timed_out = false;
+  {
+    std::unique_lock<std::mutex> lock(ch.mutex);
+    for (;;) {
+      if (aborted()) {
+        ch.waiting = false;
+        throw JobAborted{};
+      }
+      std::uint64_t ripe_at = 0;
+      if (try_pop(msg, &ripe_at)) {
+        ch.waiting = false;
+        break;
+      }
+      if (deadline_on) {
+        const std::uint64_t now = telemetry::now_ns();
+        if (entered_ns == 0) entered_ns = now;
+        const double elapsed = static_cast<double>(now - entered_ns) * 1e-9;
+        if (elapsed >= policy_.deadline_s) {
+          ch.waiting = false;
+          waited_s = elapsed;
+          timed_out = true;
+          break;
+        }
+      }
+      ch.waiting = true;
+      ch.waiting_src = src;
+      ch.waiting_tag = tag;
+      if (ripe_at != 0) {
+        // Nobody re-notifies when a delayed head ripens: bound the wait by
+        // the time to ripeness (and the deadline heartbeat, if any).
+        const std::uint64_t now = telemetry::now_ns();
+        double until =
+            ripe_at > now ? static_cast<double>(ripe_at - now) * 1e-9 : 0.0;
+        if (deadline_on) until = std::min(until, heartbeat_s);
+        ch.cv.wait_for(lock, std::chrono::duration<double>(until));
+      } else if (deadline_on) {
+        ch.cv.wait_for(lock, std::chrono::duration<double>(heartbeat_s));
+      } else {
+        ch.cv.wait(lock);
+      }
     }
-    ch.waiting = true;
-    ch.waiting_src = src;
-    ch.waiting_tag = tag;
-    ch.cv.wait(lock);
   }
+  // The timeout diagnostic snapshots every channel — build it with our own
+  // channel mutex released (it is not recursive).
+  if (timed_out) throw_receive_timeout(me, src, tag, waited_s);
+  return finish(std::move(msg));
 }
 
 /// Virtual-time receive: no clocks, no spinning — a miss parks the calling
@@ -260,12 +438,25 @@ Message Network::receive_vt(int me, int src, Tag tag) {
     if (aborted()) throw JobAborted{};
   }
   const auto [begin_s, end_s] = vt_->absorb_arrival(me, msg.vt_arrival);
+  if (policy_.virtual_deadline_s > 0 && end_s > policy_.virtual_deadline_s) {
+    // The virtual-time analogue of the real-time deadline: a fault-stalled
+    // simulated run whose clock blows past the cap fails deterministically
+    // with the same typed diagnostic a threaded timeout produces.
+    const CommContext ctx =
+        CommContext{.rank = me, .src = src, .dst = me}.with_tag(tag);
+    std::ostringstream os;
+    os << "virtual-clock deadline exceeded: rank " << me << " reached "
+       << end_s << " s > cap " << policy_.virtual_deadline_s << " s " << ctx;
+    throw ReceiveTimeout(os.str(), ctx, vt_->parked_snapshot(),
+                         /*deadlock=*/false);
+  }
   stats_.record_recv(me, src);
   if (telemetry_ != nullptr)
     telemetry_->record_wait(me, src, tag,
                             static_cast<std::uint64_t>(begin_s * 1e9),
                             static_cast<std::uint64_t>(end_s * 1e9),
                             msg.logical_bytes);
+  check_integrity(me, src, tag, msg);
   if (trace_ != nullptr) {
     // After absorb_arrival, so the Recv event carries the post-match clock.
     trace_->record_recv(me, src, tag, msg.logical_bytes);
@@ -295,6 +486,24 @@ double Network::virtual_seconds(int rank) const {
 void Network::charge_flops(int rank, double flops) {
   CONFLUX_EXPECTS(rank >= 0 && rank < nranks_);
   if (vt_ != nullptr) vt_->charge_flops(rank, flops);
+}
+
+void Network::note_rank_failure(int rank, std::string message) {
+  const std::lock_guard<std::mutex> lock(failures_mutex_);
+  rank_failures_.push_back({rank, std::move(message)});
+}
+
+std::vector<Network::RankFailure> Network::failure_report() const {
+  std::vector<RankFailure> out;
+  {
+    const std::lock_guard<std::mutex> lock(failures_mutex_);
+    out = rank_failures_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RankFailure& a, const RankFailure& b) {
+              return a.rank < b.rank;
+            });
+  return out;
 }
 
 // --- persistent rank team ---------------------------------------------------
@@ -333,7 +542,15 @@ void Network::team_worker(int rank) {
       (*job)(rank);
     } catch (const JobAborted&) {
       // Another rank failed first; nothing to record.
+    } catch (const std::exception& e) {
+      note_rank_failure(rank, e.what());
+      {
+        const std::lock_guard<std::mutex> lock(team_mutex_);
+        if (!team_error_) team_error_ = std::current_exception();
+      }
+      abort();
     } catch (...) {
+      note_rank_failure(rank, "unknown exception");
       {
         const std::lock_guard<std::mutex> lock(team_mutex_);
         if (!team_error_) team_error_ = std::current_exception();
@@ -361,6 +578,14 @@ void Network::run_team(const std::function<void(int)>& job) {
     for (Inbound& in : inbound_) in.depth.store(0, std::memory_order_relaxed);
     aborted_.store(false, std::memory_order_release);
   }
+  {
+    const std::lock_guard<std::mutex> lock(failures_mutex_);
+    rank_failures_.clear();
+  }
+  // Sequence counters restart per run: an identical rerun injects
+  // identically (the determinism contract), and retries re-randomize
+  // through FaultPlan::next_attempt, not through leftover counter state.
+  if (faults_ != nullptr) faults_->begin_run();
   if (vt_ != nullptr) {
     run_vt(job);
     return;

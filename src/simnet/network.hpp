@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "simnet/faults.hpp"
 #include "simnet/message.hpp"
 #include "simnet/stats.hpp"
 #include "simnet/trace.hpp"
@@ -83,8 +84,16 @@ class Network {
   /// the shared thread pool. Either way, if any rank throws, the job is
   /// aborted (blocked receives wake up with JobAborted) and the first
   /// exception is rethrown here; a subsequent run resets the abort flag and
-  /// drains any stale messages.
+  /// drains any stale messages. All rank failures of the run (not just the
+  /// rethrown first) are collected in failure_report().
   void run_team(const std::function<void(int)>& job);
+
+  /// As run_team, with a containment policy installed for this and
+  /// subsequent runs (see RunPolicy in faults.hpp).
+  void run_team(const std::function<void(int)>& job, const RunPolicy& policy) {
+    set_policy(policy);
+    run_team(job);
+  }
 
   // --- virtual time ---------------------------------------------------------
 
@@ -133,6 +142,41 @@ class Network {
     return telemetry_;
   }
 
+  // --- ConfChaos: faults, containment, failure aggregation ------------------
+
+  /// Attach a seeded fault plan (simnet/faults.hpp): every remote deliver
+  /// consults it and the decided delays/stalls/bit-flips are applied — as
+  /// real sleeps and delivery-ripeness timestamps in Threaded mode, as
+  /// virtual-clock charges in VirtualTime mode. The plan is reset to this
+  /// network's rank count; its sequence counters restart at the top of
+  /// every run_team. Pass nullptr to detach (zero hot-path cost). Must not
+  /// be called while a job is running.
+  void set_faults(FaultPlan* plan);
+  [[nodiscard]] FaultPlan* faults() const { return faults_; }
+
+  /// End-to-end payload integrity: stamp every payload (shared *and*
+  /// exclusive) with its FNV-1a fingerprint at deliver time and re-verify
+  /// on the receiver once the message is matched, raising PayloadCorrupted
+  /// on mismatch. Off (the default) costs nothing.
+  void set_integrity(bool on) { integrity_ = on; }
+  [[nodiscard]] bool integrity() const { return integrity_; }
+
+  /// Install the containment policy for subsequent runs: receive deadlines
+  /// (Threaded) and the virtual-clock cap (VirtualTime). All-zero restores
+  /// the wait-forever default.
+  void set_policy(const RunPolicy& policy) { policy_ = policy; }
+  [[nodiscard]] const RunPolicy& policy() const { return policy_; }
+
+  /// One rank's failure in the last run.
+  struct RankFailure {
+    int rank = -1;
+    std::string message;
+  };
+
+  /// Every rank that failed during the last run_team, sorted by rank —
+  /// run_team rethrows only the first exception, this reports them all.
+  [[nodiscard]] std::vector<RankFailure> failure_report() const;
+
  private:
   friend class VtRuntime;  ///< parks/wakes under the channel mutexes
 
@@ -171,6 +215,15 @@ class Network {
   void check_fingerprint(int me, int src, Tag tag, const Message& m);
   void run_vt(const std::function<void(int)>& job);
   void flush_queue_hwm();
+  void stamp_fingerprint(Message& msg) const;
+  void check_integrity(int me, int src, Tag tag, const Message& m) const;
+  void apply_injection(int src, int dst, Tag tag, Message& msg);
+  void note_rank_failure(int rank, std::string message);
+  /// Every rank parked in a blocking receive right now (threaded channels
+  /// or vtime fibers). Callers must not hold any channel mutex.
+  [[nodiscard]] std::vector<ParkedRank> parked_snapshot();
+  [[noreturn]] void throw_receive_timeout(int me, int src, Tag tag,
+                                          double waited_s);
 
   int nranks_ = 0;
   FabricSpec spec_;
@@ -180,6 +233,11 @@ class Network {
   StatsBoard stats_;
   TraceRecorder* trace_ = nullptr;
   telemetry::TelemetryBoard* telemetry_ = nullptr;
+  FaultPlan* faults_ = nullptr;
+  bool integrity_ = false;
+  RunPolicy policy_;
+  mutable std::mutex failures_mutex_;
+  std::vector<RankFailure> rank_failures_;
   std::atomic<bool> aborted_{false};
   int spin_iters_ = 0;  ///< 0 on oversubscribed hosts
   std::unique_ptr<VtRuntime> vt_;  ///< non-null iff VirtualTime mode

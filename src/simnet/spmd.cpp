@@ -18,4 +18,18 @@ CommVolume run_spmd(int nranks, const std::function<void(Comm&)>& body) {
   return net.stats().total();
 }
 
+void run_spmd(Network& net, const std::function<void(Comm&)>& body,
+              const RunPolicy& policy) {
+  net.set_policy(policy);
+  run_spmd(net, body);
+}
+
+CommVolume run_spmd(int nranks, const std::function<void(Comm&)>& body,
+                    const RunPolicy& policy) {
+  CONFLUX_EXPECTS(nranks >= 1);
+  Network net(nranks);
+  run_spmd(net, body, policy);
+  return net.stats().total();
+}
+
 }  // namespace conflux::simnet

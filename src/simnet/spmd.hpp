@@ -23,4 +23,13 @@ CommVolume run_spmd(int nranks, const std::function<void(Comm&)>& body);
 /// rank team). The network's rank count must match.
 void run_spmd(Network& net, const std::function<void(Comm&)>& body);
 
+/// run_spmd with a containment policy (simnet/faults.hpp): receive
+/// deadlines in Threaded mode, the virtual-clock cap in VirtualTime mode.
+/// Overloads rather than default arguments, so the two-argument forms
+/// never clobber a policy already installed on the network.
+CommVolume run_spmd(int nranks, const std::function<void(Comm&)>& body,
+                    const RunPolicy& policy);
+void run_spmd(Network& net, const std::function<void(Comm&)>& body,
+              const RunPolicy& policy);
+
 }  // namespace conflux::simnet

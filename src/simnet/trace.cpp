@@ -76,21 +76,24 @@ void report_buffer_misuse(const std::string& what) {
   throw ContractViolation("buffer ownership violation: " + what);
 }
 
-std::uint64_t payload_fingerprint(const SharedBuffer& buf) {
+std::uint64_t payload_fingerprint(std::span<const double> data) {
   // FNV-1a over the doubles' bit patterns; cheap and stable.
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  if (buf) {
-    for (const double d : *buf) {
-      std::uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(d));
-      __builtin_memcpy(&bits, &d, sizeof(bits));
-      for (int i = 0; i < 8; ++i) {
-        h ^= (bits >> (8 * i)) & 0xFF;
-        h *= 0x100000001b3ULL;
-      }
+  for (const double d : data) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ULL;
     }
   }
   return h;
+}
+
+std::uint64_t payload_fingerprint(const SharedBuffer& buf) {
+  if (!buf) return payload_fingerprint(std::span<const double>{});
+  return payload_fingerprint(std::span<const double>(*buf));
 }
 
 }  // namespace conflux::simnet

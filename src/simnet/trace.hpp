@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -106,7 +107,10 @@ void report_buffer_misuse(const std::string& what);
 
 /// FNV-1a over a payload's bytes — the fingerprint the paranoid payload
 /// check stamps on a shared buffer at deliver time and re-checks at receive
-/// time to catch in-flight mutation.
+/// time to catch in-flight mutation. The span overload covers exclusive
+/// (moved-vector) payloads, which the end-to-end integrity mode
+/// (Network::set_integrity) also stamps and re-checks.
+[[nodiscard]] std::uint64_t payload_fingerprint(std::span<const double> data);
 [[nodiscard]] std::uint64_t payload_fingerprint(const SharedBuffer& buf);
 
 }  // namespace conflux::simnet

@@ -251,7 +251,15 @@ void VtRuntime::fiber_main(RankCtx& c) {
     (*impl_->job)(c.rank);
   } catch (const JobAborted&) {
     // Another rank failed first; nothing to record.
+  } catch (const std::exception& e) {
+    net_->note_rank_failure(c.rank, e.what());
+    {
+      const std::lock_guard<std::mutex> lock(impl_->error_mutex);
+      if (!impl_->error) impl_->error = std::current_exception();
+    }
+    net_->abort();
   } catch (...) {
+    net_->note_rank_failure(c.rank, "unknown exception");
     {
       const std::lock_guard<std::mutex> lock(impl_->error_mutex);
       if (!impl_->error) impl_->error = std::current_exception();
@@ -353,6 +361,24 @@ void VtRuntime::charge_flops(int rank, double flops) {
       static_cast<std::uint64_t>(c.vclock * 1e9);
 }
 
+void VtRuntime::charge_seconds(int rank, double seconds) {
+  if (seconds <= 0) return;
+  RankCtx& c = *impl_->ranks[static_cast<std::size_t>(rank)];
+  c.vclock += seconds;
+  impl_->clock_ns[static_cast<std::size_t>(rank)] =
+      static_cast<std::uint64_t>(c.vclock * 1e9);
+}
+
+std::vector<ParkedRank> VtRuntime::parked_snapshot() const {
+  std::vector<ParkedRank> out;
+  for (const auto& cp : impl_->ranks) {
+    RankCtx& c = *cp;
+    const std::lock_guard<std::mutex> lock(c.park_mutex);
+    if (c.parked) out.push_back({c.rank, c.wait_src, c.wait_tag});
+  }
+  return out;
+}
+
 // --- scheduler --------------------------------------------------------------
 
 void VtRuntime::worker_loop() {
@@ -397,10 +423,27 @@ void VtRuntime::worker_loop() {
     } else if (deadlock) {
       {
         const std::lock_guard<std::mutex> lock(im.error_mutex);
-        if (!im.error)
-          im.error = std::make_exception_ptr(ContractViolation(
-              "virtual-time deadlock: every live rank is parked in a "
-              "receive with no matching message in flight"));
+        if (!im.error) {
+          // Typed, located diagnostic: which ranks are parked and on what.
+          // deadlock() == true marks it deterministic — a retry would park
+          // the same way, so factor::run_with_retry must not re-run it.
+          std::vector<ParkedRank> parked = parked_snapshot();
+          CommContext ctx;
+          std::ostringstream os;
+          os << "virtual-time deadlock: every live rank is parked in a "
+                "receive with no matching message in flight ("
+             << parked.size() << " parked";
+          if (!parked.empty()) {
+            const ParkedRank& p = parked.front();
+            ctx = CommContext{.rank = p.rank, .src = p.src, .dst = p.rank}
+                      .with_tag(p.tag);
+            os << "; first " << ctx;
+          }
+          os << ")";
+          im.error = std::make_exception_ptr(
+              ReceiveTimeout(os.str(), ctx, std::move(parked),
+                             /*deadlock=*/true));
+        }
       }
       // abort() wakes all parked fibers (through wake_all_parked), which
       // then unwind with JobAborted and finish normally.

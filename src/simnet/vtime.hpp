@@ -36,6 +36,7 @@
 #include <mutex>
 #include <vector>
 
+#include "simnet/faults.hpp"
 #include "simnet/message.hpp"
 
 namespace conflux::simnet {
@@ -104,6 +105,11 @@ class VtRuntime {
   /// Charge local compute to `rank`'s clock (gamma * flops).
   void charge_flops(int rank, double flops);
 
+  /// Advance `rank`'s clock by `seconds` of injected virtual time — how
+  /// fault-injected stalls (simnet/faults.hpp) fold into the simulated run
+  /// so they are makespan-visible without any real sleeping.
+  void charge_seconds(int rank, double seconds);
+
   // --- called by the Network / deliver path --------------------------------
 
   /// Wake `dst` if it is parked on (src, tag). Must be called with the
@@ -124,6 +130,11 @@ class VtRuntime {
   /// fiber — the timestamp source TelemetryBoard/TraceRecorder use in
   /// virtual-time mode.
   [[nodiscard]] const std::uint64_t* clock_ns_array() const;
+
+  /// Every rank currently parked in a blocking receive and the (src, tag)
+  /// it waits on — the parked-channel snapshot a ReceiveTimeout diagnostic
+  /// carries. Safe to call from any thread.
+  [[nodiscard]] std::vector<ParkedRank> parked_snapshot() const;
 
  private:
   struct RankCtx;

@@ -291,5 +291,65 @@ TEST(Fabric, ManyToOneContention) {
             static_cast<std::uint64_t>(p - 1) * msgs);
 }
 
+TEST(RankTeam, SurvivesRepeatedRandomizedAborts) {
+  // ConfChaos stress: hammer one network with runs that abort at an
+  // LCG-randomized (rank, step), in both execution modes, then prove the
+  // fabric is unpoisoned — a final clean run must move exactly the bytes a
+  // fresh network moves, bit-identically, and every abort must land in the
+  // aggregated failure report naming the aborting rank.
+  const int p = 6;
+  const int steps = 4;
+  auto ring = [&](Comm& comm, int abort_rank, int abort_step) {
+    for (int s = 0; s < steps; ++s) {
+      if (comm.rank() == abort_rank && s == abort_step)
+        throw std::runtime_error("chaos abort @rank " +
+                                 std::to_string(comm.rank()));
+      comm.send((comm.rank() + 1) % p, make_tag(1, unsigned(s)),
+                std::vector<double>(16, double(s)));
+      (void)comm.recv_view((comm.rank() + p - 1) % p,
+                           make_tag(1, unsigned(s)));
+    }
+  };
+  for (const bool vtime : {false, true}) {
+    FabricSpec spec;
+    spec.mode = vtime ? ExecMode::VirtualTime : ExecMode::Threaded;
+
+    // Reference volume of one clean run, from a pristine network.
+    Network fresh(p, spec);
+    run_spmd(fresh, [&](Comm& comm) { ring(comm, -1, -1); });
+    const CommVolume want = fresh.stats().total();
+
+    Network net(p, spec);
+    std::uint64_t rng = vtime ? 0xC0FFEE : 0xB00;
+    for (int iter = 0; iter < 10; ++iter) {
+      rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+      const int abort_rank = static_cast<int>((rng >> 33) % p);
+      const int abort_step = static_cast<int>((rng >> 13) % steps);
+      EXPECT_THROW(
+          run_spmd(net,
+                   [&](Comm& comm) { ring(comm, abort_rank, abort_step); }),
+          std::runtime_error);
+      EXPECT_TRUE(net.aborted());
+      // The aborting rank is named in the aggregated report.
+      bool named = false;
+      for (const auto& failure : net.failure_report())
+        if (failure.rank == abort_rank &&
+            failure.message.find("chaos abort") != std::string::npos)
+          named = true;
+      EXPECT_TRUE(named) << "iter " << iter << " rank " << abort_rank;
+    }
+
+    // StatsBoard accumulates across runs, so compare the clean run's delta.
+    const CommVolume before = net.stats().total();
+    run_spmd(net, [&](Comm& comm) { ring(comm, -1, -1); });
+    const CommVolume after = net.stats().total();
+    EXPECT_EQ(after.bytes_sent - before.bytes_sent, want.bytes_sent);
+    EXPECT_EQ(after.messages_sent - before.messages_sent, want.messages_sent);
+    EXPECT_EQ(after.bytes_received - before.bytes_received,
+              want.bytes_received);
+    EXPECT_FALSE(net.aborted());
+  }
+}
+
 }  // namespace
 }  // namespace conflux::simnet

@@ -141,12 +141,20 @@ TEST(VirtualTime, ChargeFlopsAdvancesTheClock) {
 
 TEST(VirtualTime, DeadlockIsDetectedAndReported) {
   Network net(2, virtual_fabric());
-  EXPECT_THROW(run_spmd(net,
-                        [&](Comm& comm) {
-                          if (comm.rank() == 0)
-                            (void)comm.recv(1, make_tag(2, 0, 0));
-                        }),
-               ContractViolation);
+  // Typed diagnostic (ConfChaos): deadlock() marks it deterministic, and
+  // the parked snapshot names the stuck rank and its (src, tag).
+  try {
+    run_spmd(net, [&](Comm& comm) {
+      if (comm.rank() == 0) (void)comm.recv(1, make_tag(2, 0, 0));
+    });
+    FAIL() << "deadlock not detected";
+  } catch (const ReceiveTimeout& e) {
+    EXPECT_TRUE(e.deadlock());
+    ASSERT_EQ(e.parked().size(), 1u);
+    EXPECT_EQ(e.parked()[0].rank, 0);
+    EXPECT_EQ(e.parked()[0].src, 1);
+    EXPECT_EQ(e.parked()[0].tag, make_tag(2, 0, 0));
+  }
   // The fabric recovers: a subsequent run over the same network works.
   run_spmd(net, [&](Comm& comm) {
     if (comm.rank() == 0)

@@ -20,10 +20,14 @@
 ///   confscope ... --json=profile.json              machine-readable report
 ///   confscope ... --check-volume [--band=1.1]      gate measured per-phase
 ///                                                  volume against the model
+///   confscope --chaos --n=128 --p=8                ConfChaos sweep: seeded
+///                                                  fault matrix x backend x
+///                                                  both execution modes
 ///
 /// Exit status: 0 clean, 1 when --check-volume finds a phase outside the
-/// band (or a run fails), 2 on usage errors.
+/// band, --chaos finds a violation, or a run fails; 2 on usage errors.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <exception>
@@ -36,6 +40,7 @@
 #include <vector>
 
 #include "cholesky/cholesky_common.hpp"
+#include "factor/retry.hpp"
 #include "linalg/generate.hpp"
 #include "lu/lu_common.hpp"
 #include "models/cost_model.hpp"
@@ -69,6 +74,12 @@ struct Options {
   int block = 0;
   std::string trace_path;
   std::string json_path;
+
+  // --- ConfChaos sweep (--chaos) ------------------------------------------
+  bool chaos = false;
+  std::uint64_t chaos_seed = 1;  ///< --chaos-seed= fault-matrix seed
+  int attempts = 3;              ///< --attempts= retry budget per scenario
+  double deadline = 30.0;        ///< --deadline= watchdog for non-timeout runs
 };
 
 /// One backend's collected profile. The board is heap-held so the Chrome
@@ -115,6 +126,18 @@ void print_usage(std::ostream& os) {
         "  --check-volume fail (exit 1) when a measured phase volume falls\n"
         "                 outside the model band (backends with a model)\n"
         "  --band=X       model band for --check-volume (default 1.1)\n"
+        "  --chaos        ConfChaos sweep: run every selected backend in\n"
+        "                 both execution modes under a seeded fault matrix\n"
+        "                 (link delays, rank stalls, payload corruption,\n"
+        "                 receive-deadline expiry) and fail unless every\n"
+        "                 fault is contained: no hangs, no silent\n"
+        "                 corruption, recovered runs bit-identical in\n"
+        "                 volume to the fault-free baseline. --json=FILE\n"
+        "                 writes the recovery-latency report\n"
+        "  --chaos-seed=S fault-matrix seed for --chaos (default 1)\n"
+        "  --attempts=K   retry budget per chaos scenario (default 3)\n"
+        "  --deadline=T   watchdog receive deadline, in seconds, for chaos\n"
+        "                 runs that should NOT time out (default 30)\n"
         "  --list         print the registered (family, backend) table\n"
         "  --help         this text\n";
 }
@@ -381,6 +404,321 @@ void write_json(std::ostream& os, const std::vector<Profile>& profiles,
   os << "\n";
 }
 
+// ---------------------------------------------------------------------------
+// ConfChaos (--chaos): seeded fault matrix x backend x execution mode.
+//
+// Per (backend, mode) a fault-free numeric baseline is run first, then four
+// scenarios, each of which must be *contained*:
+//   delay    link delays + jitter   -> run succeeds, volume bit-identical
+//   stall    rank stalls + slowdown -> run succeeds, volume bit-identical
+//   corrupt  payload bit-flips with integrity on -> typed PayloadCorrupted,
+//            retry recovers, recovered volume bit-identical, residual passes
+//   timeout  every message delayed past the receive deadline -> typed
+//            ReceiveTimeout with located context (never a hang)
+// Any hang is caught by the CTest TIMEOUT; any other violation exits 1.
+// ---------------------------------------------------------------------------
+
+struct ChaosOutcome {
+  std::string backend;   ///< "family/name"
+  std::string mode;      ///< "threaded" | "vtime"
+  std::string scenario;  ///< delay | stall | corrupt | timeout
+  bool ok = false;
+  std::string detail;
+  int attempts = 1;
+  double backoff_s = 0;  ///< recovery backoff recorded by run_with_retry
+  double wall_s = 0;     ///< host seconds the scenario took
+  conflux::simnet::FaultPlan::Counters counters;
+};
+
+/// One numeric run of `b` under `base`. Derived result types slice down to
+/// the FactorResult the chaos gates read (volume, residual, attempts).
+conflux::factor::FactorResult chaos_run_once(
+    const Backend& b, const conflux::linalg::Matrix& a,
+    const conflux::factor::FactorConfig& base) {
+  if (b.family == "LU") {
+    conflux::lu::LuConfig cfg;
+    static_cast<conflux::factor::FactorConfig&>(cfg) = base;
+    return conflux::lu::make_algorithm(b.name)->run(&a, cfg);
+  }
+  conflux::cholesky::CholConfig cfg;
+  static_cast<conflux::factor::FactorConfig&>(cfg) = base;
+  return conflux::cholesky::make_cholesky_algorithm(b.name)->run(&a, cfg);
+}
+
+bool chaos_volume_matches(const conflux::factor::FactorResult& got,
+                          const conflux::factor::FactorResult& want,
+                          std::string* detail) {
+  if (got.total.bytes_sent == want.total.bytes_sent &&
+      got.total.messages_sent == want.total.messages_sent)
+    return true;
+  *detail = "volume diverged: " + std::to_string(got.total.bytes_sent) +
+            " bytes vs baseline " + std::to_string(want.total.bytes_sent);
+  return false;
+}
+
+constexpr double kChaosResidualTol = 1e-9;
+
+int run_chaos(const std::vector<Backend>& selected, const Options& opt) {
+  using conflux::factor::FactorConfig;
+  using conflux::factor::FactorResult;
+  using conflux::factor::RetryPolicy;
+  using conflux::factor::run_with_retry;
+  using conflux::simnet::FaultPlan;
+  using conflux::simnet::FaultSpec;
+
+  const conflux::linalg::Matrix lu_a = conflux::linalg::generate(
+      opt.n, conflux::linalg::MatrixKind::DiagDominant);
+  const conflux::linalg::Matrix chol_a =
+      conflux::linalg::generate(opt.n, conflux::linalg::MatrixKind::Spd);
+  const conflux::models::Machine machine =
+      conflux::models::machine_by_name(opt.machine);
+
+  std::vector<ChaosOutcome> outcomes;
+  const auto wall = [] {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+
+  for (const Backend& b : selected) {
+    const conflux::linalg::Matrix& a = b.family == "LU" ? lu_a : chol_a;
+    for (const bool vtime : {false, true}) {
+      FactorConfig base;
+      base.n = opt.n;
+      base.p = opt.p;
+      base.block = opt.block;
+      base.force_layers = opt.layers;
+      base.mode = conflux::factor::Mode::Numeric;
+      base.verify = true;
+      if (vtime) {
+        base.fabric.mode = conflux::simnet::ExecMode::VirtualTime;
+        base.fabric.link.alpha_s = machine.alpha_s;
+        base.fabric.link.beta_s_per_byte = machine.beta_s_per_byte;
+        base.fabric.link.gamma_s_per_flop = machine.gamma_s_per_flop;
+        base.policy.virtual_deadline_s = 1e9;  // watchdog: absurd = bug
+      } else {
+        base.policy.deadline_s = opt.deadline;
+        base.policy.heartbeat_s = 0.02;
+      }
+
+      const std::string id = b.family + "/" + b.name;
+      const std::string mode = vtime ? "vtime" : "threaded";
+      FactorResult baseline;
+      try {
+        baseline = chaos_run_once(b, a, base);
+      } catch (const std::exception& e) {
+        outcomes.push_back({id, mode, "baseline", false,
+                            std::string("baseline failed: ") + e.what(), 1, 0,
+                            0, {}});
+        continue;
+      }
+
+      // Inject-but-succeed scenarios: faults that must never change the
+      // dataflow. Delay/stall magnitudes are kept tiny in threaded mode
+      // (they are real sleeps) and hefty in virtual time (they are free).
+      struct Soft {
+        const char* name;
+        FaultSpec spec;
+      };
+      FaultSpec delay_spec;
+      delay_spec.seed = opt.chaos_seed;
+      delay_spec.faulty_links = 0.5;
+      delay_spec.delay_prob = 0.3;
+      delay_spec.delay_s = vtime ? 1e-3 : 1e-4;
+      delay_spec.jitter_s = vtime ? 5e-4 : 5e-5;
+      FaultSpec stall_spec;
+      stall_spec.seed = opt.chaos_seed + 1;
+      stall_spec.stall_prob = 0.2;
+      stall_spec.stall_s = vtime ? 1e-2 : 1e-4;
+      stall_spec.slow_ranks = 2;
+      stall_spec.slow_factor = 2.0;
+      for (const Soft& soft : {Soft{"delay", delay_spec},
+                               Soft{"stall", stall_spec}}) {
+        ChaosOutcome out;
+        out.backend = id;
+        out.mode = mode;
+        out.scenario = soft.name;
+        FaultPlan plan(soft.spec);
+        FactorConfig cfg = base;
+        cfg.faults = &plan;
+        RetryPolicy rp;
+        rp.max_attempts = opt.attempts;
+        rp.real_sleep = false;
+        const double t0 = wall();
+        try {
+          const FactorResult r = run_with_retry(
+              [&] { return chaos_run_once(b, a, cfg); }, rp, &plan);
+          out.attempts = r.attempts;
+          out.backoff_s = r.backoff_seconds;
+          out.ok = chaos_volume_matches(r, baseline, &out.detail) &&
+                   r.residual < kChaosResidualTol;
+          if (out.ok && plan.counters().delayed + plan.counters().stalled == 0)
+            out.detail = "warning: no fault fired";
+        } catch (const std::exception& e) {
+          out.detail = e.what();
+        }
+        out.wall_s = wall() - t0;
+        out.counters = plan.counters();
+        outcomes.push_back(out);
+      }
+
+      // Corruption + integrity + retry. The probability targets ~1 flip per
+      // attempt (calibrated from the baseline's message count) and the seed
+      // scans forward until an attempt is actually poisoned — each seed's
+      // outcome is deterministic, so the sweep is too.
+      {
+        ChaosOutcome out;
+        out.backend = id;
+        out.mode = mode;
+        out.scenario = "corrupt";
+        const double t0 = wall();
+        bool fired = false;
+        for (std::uint64_t seed = opt.chaos_seed;
+             seed < opt.chaos_seed + 32 && !out.ok; ++seed) {
+          FaultSpec spec;
+          spec.seed = seed;
+          spec.corrupt_prob =
+              1.0 / static_cast<double>(
+                        std::max<std::uint64_t>(1, baseline.total.messages_sent));
+          FaultPlan plan(spec);
+          FactorConfig cfg = base;
+          cfg.faults = &plan;
+          cfg.integrity = true;
+          RetryPolicy rp;
+          rp.max_attempts = opt.attempts;
+          rp.backoff_s = 0.001;
+          rp.real_sleep = false;
+          try {
+            const FactorResult r = run_with_retry(
+                [&] { return chaos_run_once(b, a, cfg); }, rp, &plan);
+            if (r.attempts > 1) {
+              fired = true;
+              out.attempts = r.attempts;
+              out.backoff_s = r.backoff_seconds;
+              out.counters = plan.counters();
+              out.ok = chaos_volume_matches(r, baseline, &out.detail) &&
+                       r.residual < kChaosResidualTol;
+              if (!out.ok && out.detail.empty())
+                out.detail = "recovered run failed the residual gate";
+            }
+          } catch (const conflux::simnet::PayloadCorrupted&) {
+            fired = true;  // detected every time but retries exhausted;
+                           // keep scanning for a recoverable seed
+          } catch (const std::exception& e) {
+            out.detail = std::string("unexpected failure type: ") + e.what();
+            break;
+          }
+        }
+        if (!out.ok && out.detail.empty())
+          out.detail = fired ? "corruption detected but never recovered"
+                             : "injection never fired (probability too low)";
+        out.wall_s = wall() - t0;
+        outcomes.push_back(out);
+      }
+
+      // Deadline expiry: every message delayed far past the receive
+      // deadline. The only acceptable outcome is the typed, located
+      // ReceiveTimeout — anything else is an escape (and a hang would trip
+      // the CTest TIMEOUT).
+      {
+        ChaosOutcome out;
+        out.backend = id;
+        out.mode = mode;
+        out.scenario = "timeout";
+        FaultSpec spec;
+        spec.seed = opt.chaos_seed + 2;
+        spec.delay_prob = 1.0;
+        spec.delay_s = vtime ? 10.0 : 1.0;
+        FaultPlan plan(spec);
+        FactorConfig cfg = base;
+        cfg.faults = &plan;
+        if (vtime)
+          cfg.policy.virtual_deadline_s = 1.0;
+        else {
+          cfg.policy.deadline_s = 0.25;
+          cfg.policy.heartbeat_s = 0.02;
+        }
+        const double t0 = wall();
+        try {
+          (void)chaos_run_once(b, a, cfg);
+          out.detail = "deadline never fired";
+        } catch (const conflux::simnet::ReceiveTimeout& e) {
+          if (e.deadlock())
+            out.detail = "misclassified as deadlock";
+          else if (e.context().rank < 0)
+            out.detail = "timeout lost its context";
+          else
+            out.ok = true;
+        } catch (const std::exception& e) {
+          out.detail = std::string("untyped failure: ") + e.what();
+        }
+        out.wall_s = wall() - t0;
+        out.counters = plan.counters();
+        outcomes.push_back(out);
+      }
+    }
+  }
+
+  conflux::Table table(
+      {"backend", "mode", "scenario", "result", "attempts", "backoff_s",
+       "wall_s", "inj", "detail"});
+  bool all_ok = true;
+  for (const ChaosOutcome& out : outcomes) {
+    all_ok = all_ok && out.ok;
+    const std::uint64_t injected =
+        out.counters.delayed + out.counters.stalled + out.counters.corrupted;
+    table.add_row({out.backend, out.mode, out.scenario,
+                   out.ok ? "ok" : "FAIL", std::to_string(out.attempts),
+                   conflux::fmt(out.backoff_s, 4), conflux::fmt(out.wall_s, 3),
+                   std::to_string(injected), out.detail});
+  }
+  table.print(std::cout, 2);
+
+  if (!opt.json_path.empty()) {
+    std::ofstream os(opt.json_path);
+    if (!os) {
+      std::cerr << "confscope: cannot write '" << opt.json_path << "'\n";
+      return 1;
+    }
+    conflux::support::JsonWriter w(os);
+    w.begin_object();
+    w.kv("tool", "confscope-chaos");
+    w.kv("n", opt.n);
+    w.kv("p", opt.p);
+    w.kv("seed", opt.chaos_seed);
+    w.kv("attempts_budget", opt.attempts);
+    w.key("scenarios");
+    w.begin_array();
+    for (const ChaosOutcome& out : outcomes) {
+      w.begin_object();
+      w.kv("backend", out.backend);
+      w.kv("mode", out.mode);
+      w.kv("scenario", out.scenario);
+      w.kv("ok", out.ok);
+      w.kv("attempts", out.attempts);
+      w.kv("backoff_seconds", out.backoff_s);
+      w.kv("wall_seconds", out.wall_s);
+      w.kv("delayed", out.counters.delayed);
+      w.kv("stalled", out.counters.stalled);
+      w.kv("corrupted", out.counters.corrupted);
+      if (!out.detail.empty()) w.kv("detail", out.detail);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << "\n";
+    std::cout << "wrote chaos report to " << opt.json_path << "\n";
+  }
+
+  if (!all_ok) {
+    std::cerr << "confscope: chaos sweep found uncontained faults\n";
+    return 1;
+  }
+  std::cout << "chaos sweep clean: " << outcomes.size()
+            << " scenarios contained\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -398,6 +736,8 @@ int main(int argc, char** argv) {
         opt.virtual_time = true;
       else if (arg == "--check-volume")
         opt.check_volume = true;
+      else if (arg == "--chaos")
+        opt.chaos = true;
       else if (arg == "--help" || arg == "-h") {
         print_usage(std::cout);
         return 0;
@@ -417,6 +757,12 @@ int main(int argc, char** argv) {
         opt.block = std::stoi(arg.substr(8));
       else if (arg.rfind("--band=", 0) == 0)
         opt.band = std::stod(arg.substr(7));
+      else if (arg.rfind("--chaos-seed=", 0) == 0)
+        opt.chaos_seed = std::stoull(arg.substr(13));
+      else if (arg.rfind("--attempts=", 0) == 0)
+        opt.attempts = std::stoi(arg.substr(11));
+      else if (arg.rfind("--deadline=", 0) == 0)
+        opt.deadline = std::stod(arg.substr(11));
       else if (arg.rfind("--trace=", 0) == 0)
         opt.trace_path = arg.substr(8);
       else if (arg.rfind("--json=", 0) == 0)
@@ -437,6 +783,9 @@ int main(int argc, char** argv) {
       std::cout << b.family << '/' << b.name << "\n";
     return 0;
   }
+
+  // --chaos with no explicit selection sweeps every registered backend.
+  if (opt.chaos && opt.algos.empty()) opt.all = true;
 
   // Resolve the selection against the registry so typos fail loudly.
   std::vector<Backend> selected;
@@ -459,6 +808,8 @@ int main(int argc, char** argv) {
     }
     return 2;
   }
+
+  if (opt.chaos) return run_chaos(selected, opt);
 
   bool volume_ok = true;
   std::vector<Profile> profiles;
